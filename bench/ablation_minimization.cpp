@@ -1,0 +1,71 @@
+// Ablation C: conflict-clause minimization (a post-paper CDCL refinement,
+// kept traceable here by recording each literal drop as one extra
+// resolution). Measures its effect on learned-clause length, solver
+// effort, trace volume (derivations get longer source lists, clauses get
+// shorter) and checking time — quantifying that proof logging keeps
+// working unchanged under a solver-side improvement the paper did not
+// have.
+
+#include <iostream>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/encode/suite.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main() {
+  using namespace satproof;
+
+  util::Table table({"Instance", "Minimize", "Solve (s)", "Conflicts",
+                     "Avg Learned Len", "Dropped Lits", "Check (s)"});
+
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Standard)) {
+    for (const bool minimize : {false, true}) {
+      solver::SolverOptions opts;
+      opts.minimize_learned = minimize;
+      solver::Solver s(opts);
+      s.add_formula(inst.formula);
+      trace::MemoryTraceWriter writer;
+      s.set_trace_writer(&writer);
+      util::Timer t_solve;
+      if (s.solve() != solver::SolveResult::Unsatisfiable) {
+        std::cerr << "FATAL: " << inst.name << " not UNSAT\n";
+        return 1;
+      }
+      const double solve_secs = t_solve.elapsed_seconds();
+      const auto& st = s.stats();
+
+      const trace::MemoryTrace trace = writer.take();
+      trace::MemoryTraceReader reader(trace);
+      util::Timer t_check;
+      const checker::CheckResult check =
+          checker::check_breadth_first(inst.formula, reader);
+      const double check_secs = t_check.elapsed_seconds();
+      if (!check.ok) {
+        std::cerr << "FATAL: check failed on " << inst.name << ": "
+                  << check.error << "\n";
+        return 1;
+      }
+
+      const double avg_len =
+          st.learned_clauses == 0
+              ? 0.0
+              : static_cast<double>(st.learned_literals) /
+                    static_cast<double>(st.learned_clauses);
+      table.add_row({inst.name, minimize ? "on" : "off",
+                     util::format_double(solve_secs, 3),
+                     std::to_string(st.conflicts),
+                     util::format_double(avg_len, 1),
+                     std::to_string(st.minimized_literals),
+                     util::format_double(check_secs, 3)});
+    }
+  }
+
+  std::cout << "Ablation C: conflict-clause minimization on/off\n"
+            << "(each dropped literal is one extra recorded resolution, so "
+               "proofs stay checkable)\n\n"
+            << table.to_string();
+  return 0;
+}

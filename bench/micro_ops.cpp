@@ -1,0 +1,159 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: resolution
+// (reference sorted-merge vs the marker-based ChainResolver), solver BCP,
+// trace codecs, and CNF parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/checker/resolution.hpp"
+#include "src/cnf/dimacs.hpp"
+#include "src/circuit/miter.hpp"
+#include "src/circuit/tseitin.hpp"
+#include "src/circuit/words.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/solver/solver.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/varint.hpp"
+
+namespace {
+
+using namespace satproof;
+
+/// Builds a resolution chain: a long base clause and `steps` short partner
+/// clauses, each clashing on exactly one variable of the running clause.
+struct Chain {
+  checker::SortedClause base;
+  std::vector<checker::SortedClause> partners;
+};
+
+Chain make_chain(std::size_t base_len, std::size_t steps) {
+  Chain c;
+  // Base: ~x0 ... ~x(base_len-1).
+  for (Var v = 0; v < base_len; ++v) c.base.push_back(Lit::neg(v));
+  // Partner i resolves on x_i and introduces two fresh high literals.
+  for (std::size_t i = 0; i < steps; ++i) {
+    checker::SortedClause p{Lit::pos(static_cast<Var>(i)),
+                            Lit::neg(static_cast<Var>(base_len + 2 * i)),
+                            Lit::neg(static_cast<Var>(base_len + 2 * i + 1))};
+    std::sort(p.begin(), p.end());
+    c.partners.push_back(std::move(p));
+  }
+  return c;
+}
+
+void BM_ResolveSortedMerge(benchmark::State& state) {
+  const Chain chain =
+      make_chain(static_cast<std::size_t>(state.range(0)), 64);
+  checker::SortedClause current, next;
+  for (auto _ : state) {
+    current = chain.base;
+    for (const auto& p : chain.partners) {
+      const auto r = checker::resolve(current, p, next);
+      if (r.status != checker::ResolveStatus::Ok) state.SkipWithError("bad");
+      current.swap(next);
+    }
+    benchmark::DoNotOptimize(current.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ResolveSortedMerge)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ChainResolver(benchmark::State& state) {
+  const Chain chain =
+      make_chain(static_cast<std::size_t>(state.range(0)), 64);
+  checker::ChainResolver resolver;
+  for (auto _ : state) {
+    resolver.start(chain.base);
+    for (const auto& p : chain.partners) {
+      const auto r = resolver.step(p);
+      if (r.status != checker::ResolveStatus::Ok) state.SkipWithError("bad");
+    }
+    benchmark::DoNotOptimize(resolver.lits().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ChainResolver)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SolverBcpThroughput(benchmark::State& state) {
+  // Full solve of a propagation-heavy instance; items = propagations.
+  std::uint64_t props = 0;
+  for (auto _ : state) {
+    solver::Solver s;
+    s.add_formula(encode::pigeonhole(6));
+    benchmark::DoNotOptimize(s.solve());
+    props += s.stats().propagations;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(props));
+}
+BENCHMARK(BM_SolverBcpThroughput);
+
+void BM_SolveRandomKsat(benchmark::State& state) {
+  const Formula f = encode::random_ksat(60, 256, 3, 1234);
+  for (auto _ : state) {
+    solver::Solver s;
+    s.add_formula(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SolveRandomKsat);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::uint64_t> values(4096);
+  for (auto& v : values) v = rng.next_u64() >> (rng.next_below(60));
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buf;
+    for (const auto v : values) util::append_varint(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t sum = 0;
+    while (pos < buf.size()) sum += util::decode_varint(buf, pos);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_Canonicalize(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 256; ++i) {
+    lits.push_back(Lit(static_cast<Var>(rng.next_below(128)),
+                       rng.next_bool()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::canonicalize(lits).data());
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_DimacsParse(benchmark::State& state) {
+  std::ostringstream out;
+  dimacs::write(out, encode::random_ksat(500, 2000, 3, 99));
+  const std::string text = out.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dimacs::parse_string(text).num_clauses());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_DimacsParse);
+
+void BM_TseitinMultiplierMiter(benchmark::State& state) {
+  for (auto _ : state) {
+    circuit::Netlist n;
+    const auto a = circuit::input_word(n, 8);
+    const auto b = circuit::input_word(n, 8);
+    const auto m1 = circuit::array_multiplier(n, a, b);
+    const auto m2 = circuit::multiplier_commuted(n, a, b);
+    const auto m = circuit::build_miter(n, m1, m2);
+    benchmark::DoNotOptimize(circuit::miter_to_cnf(n, m).num_clauses());
+  }
+}
+BENCHMARK(BM_TseitinMultiplierMiter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the table-reproduction benches: run the solver over
+// the standard suite with tracing, time things, and hand the traces to the
+// checkers.
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cnf/formula.hpp"
+#include "src/encode/suite.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/timer.hpp"
+
+namespace satproof::bench {
+
+/// One solved suite instance with its trace and timings.
+struct SolvedInstance {
+  encode::NamedInstance instance;
+  trace::MemoryTrace trace;
+  solver::SolverStats stats;
+  double solve_seconds_trace_on = 0.0;
+};
+
+/// Solves every suite instance with tracing enabled. Aborts the process
+/// with a diagnostic if any instance fails to come back UNSAT (the suite is
+/// unsatisfiable by construction, so that would be a solver bug).
+inline std::vector<SolvedInstance> solve_suite(encode::SuiteScale scale) {
+  std::vector<SolvedInstance> out;
+  for (encode::NamedInstance& inst : encode::unsat_suite(scale)) {
+    solver::Solver solver;
+    solver.add_formula(inst.formula);
+    trace::MemoryTraceWriter writer;
+    solver.set_trace_writer(&writer);
+    util::Timer timer;
+    const solver::SolveResult res = solver.solve();
+    const double seconds = timer.elapsed_seconds();
+    if (res != solver::SolveResult::Unsatisfiable) {
+      std::cerr << "FATAL: suite instance " << inst.name
+                << " did not come back UNSAT\n";
+      std::exit(1);
+    }
+    out.push_back({std::move(inst), writer.take(), solver.stats(), seconds});
+  }
+  return out;
+}
+
+}  // namespace satproof::bench

@@ -1,0 +1,43 @@
+// Quick sanity driver: solve the standard suite, check every trace with
+// both checkers, print per-instance timing. Not one of the paper tables —
+// a development aid and a fast way to see the whole pipeline working.
+
+#include <cstdio>
+
+#include "bench/suite_runner.hpp"
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+
+int main() {
+  using namespace satproof;
+  for (auto& solved : bench::solve_suite(encode::SuiteScale::Standard)) {
+    util::Timer t_df;
+    trace::MemoryTraceReader r1(solved.trace);
+    const checker::CheckResult df =
+        checker::check_depth_first(solved.instance.formula, r1);
+    const double df_s = t_df.elapsed_seconds();
+
+    util::Timer t_bf;
+    trace::MemoryTraceReader r2(solved.trace);
+    const checker::CheckResult bf =
+        checker::check_breadth_first(solved.instance.formula, r2);
+    const double bf_s = t_bf.elapsed_seconds();
+
+    std::printf(
+        "%-18s vars=%6u cls=%7zu learned=%7llu solve=%7.3fs df=%s %.3fs "
+        "bf=%s %.3fs built%%=%.1f core=%llu\n",
+        solved.instance.name.c_str(), solved.instance.formula.num_vars(),
+        solved.instance.formula.num_clauses(),
+        static_cast<unsigned long long>(solved.stats.learned_clauses),
+        solved.solve_seconds_trace_on, df.ok ? "ok" : "FAIL", df_s,
+        bf.ok ? "ok" : "FAIL", bf_s,
+        df.stats.total_derivations == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(df.stats.clauses_built) /
+                  static_cast<double>(df.stats.total_derivations),
+        static_cast<unsigned long long>(df.stats.core_original_clauses));
+    if (!df.ok) std::printf("  DF error: %s\n", df.error.c_str());
+    if (!bf.ok) std::printf("  BF error: %s\n", bf.error.c_str());
+  }
+  return 0;
+}

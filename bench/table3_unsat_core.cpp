@@ -1,0 +1,54 @@
+// Reproduces Table 3 of the paper: unsatisfiable-core extraction by
+// iterated depth-first checking.
+//
+// Paper columns: Benchmark | Original {Num Cls, Num Vars} | First Iteration
+// {Num Cls, Num Vars} | 30 Iterations (or fixed point) {Num Cls, Num Vars,
+// Iteration}.
+//
+// Expected shape (paper): the first proof uses only part of the formula;
+// iterating shrinks the core further until (often) a fixed point where
+// every clause is needed; planning and routing instances have cores much
+// smaller than the original formula. Like the paper (which omits its
+// hardest rows here), instances flagged core_iteration = false are skipped.
+
+#include <iostream>
+
+#include "src/core/unsat_core.hpp"
+#include "src/encode/suite.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace satproof;
+
+  util::Table table({"Instance", "Orig Cls", "Orig Vars", "1st-Iter Cls",
+                     "1st-Iter Vars", "Final Cls", "Final Vars", "Iters",
+                     "Fixed Point"});
+
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Standard)) {
+    if (!inst.core_iteration) continue;
+    const core::CoreIteration it = core::iterate_core(inst.formula, 30);
+    if (!it.ok) {
+      std::cerr << "FATAL: core iteration failed on " << inst.name << ": "
+                << it.error << "\n";
+      return 1;
+    }
+    const auto& orig = it.steps.front();
+    const auto& first = it.steps.size() > 1 ? it.steps[1] : it.steps.front();
+    const auto& last = it.steps.back();
+    table.add_row({inst.name, std::to_string(orig.num_clauses),
+                   std::to_string(orig.num_vars),
+                   std::to_string(first.num_clauses),
+                   std::to_string(first.num_vars),
+                   std::to_string(last.num_clauses),
+                   std::to_string(last.num_vars),
+                   std::to_string(it.iterations),
+                   it.fixed_point ? "yes" : "no"});
+  }
+
+  std::cout << "Table 3: unsatisfiable cores by iterated depth-first "
+               "checking (30 iterations max)\n"
+            << "(paper: cores shrink across iterations; planning/routing "
+               "cores << original)\n\n"
+            << table.to_string();
+  return 0;
+}

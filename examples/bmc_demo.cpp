@@ -1,0 +1,89 @@
+// Bounded model checking with validated UNSAT answers — the paper's
+// barrel/longmult rows come from BMC, where an UNSAT answer is a safety
+// claim ("no bad state within k steps") that deserves an independent
+// proof check before anyone trusts it.
+//
+// A one-hot token rotator is checked safe up to a bound (UNSAT, proof
+// validated); a deliberately broken variant yields SAT, and the model is
+// decoded into a concrete input sequence and replayed on the sequential
+// simulator.
+
+#include <iostream>
+
+#include "src/bmc/rotator.hpp"
+#include "src/bmc/unroll.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/cnf/model.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+int main() {
+  using namespace satproof;
+
+  constexpr unsigned kWidth = 8;
+  constexpr unsigned kBound = 10;
+
+  // ---- the safe design -----------------------------------------------------
+  {
+    const bmc::SequentialCircuit design = bmc::make_rotator(kWidth);
+    const Formula f = bmc::unroll(design, kBound);
+    std::cout << "Safe rotator, " << kWidth << " bits, bound " << kBound
+              << ": " << f.num_vars() << " vars, " << f.num_clauses()
+              << " clauses\n";
+
+    solver::Solver s;
+    s.add_formula(f);
+    trace::MemoryTraceWriter w;
+    s.set_trace_writer(&w);
+    if (s.solve() != solver::SolveResult::Unsatisfiable) {
+      std::cout << "UNEXPECTED: bad state reachable in the safe design\n";
+      return 1;
+    }
+    const trace::MemoryTrace t = w.take();
+    trace::MemoryTraceReader reader(t);
+    const checker::CheckResult check = checker::check_depth_first(f, reader);
+    if (!check.ok) {
+      std::cout << "proof check FAILED: " << check.error << "\n";
+      return 1;
+    }
+    std::cout << "  property holds up to the bound; UNSAT proof validated ("
+              << check.stats.clauses_built << " clauses rebuilt)\n\n";
+  }
+
+  // ---- the buggy design ----------------------------------------------------
+  {
+    const bmc::SequentialCircuit design =
+        bmc::make_rotator(kWidth, /*break_invariant=*/true);
+    const bmc::UnrollResult u = bmc::unroll_detailed(design, kBound);
+    std::cout << "Rotator with an invariant-breaking input:\n";
+
+    solver::Solver s;
+    s.add_formula(u.formula);
+    if (s.solve() != solver::SolveResult::Satisfiable) {
+      std::cout << "UNEXPECTED: no counterexample found\n";
+      return 1;
+    }
+
+    // Decode the counterexample and replay it on the simulator.
+    std::vector<std::vector<bool>> stimulus;
+    for (const auto& frame : u.frame_inputs) {
+      std::vector<bool> vals;
+      for (const Var v : frame) vals.push_back(s.model()[v] == LBool::True);
+      stimulus.push_back(std::move(vals));
+    }
+    std::cout << "  counterexample of " << stimulus.size() << " cycles "
+              << "(inputs: enable, amount[0], amount[1], corrupt):\n";
+    for (std::size_t t = 0; t < stimulus.size(); ++t) {
+      std::cout << "    cycle " << t << ":";
+      for (const bool b : stimulus[t]) std::cout << " " << (b ? 1 : 0);
+      std::cout << "\n";
+    }
+    if (design.simulate_reaches_bad(stimulus)) {
+      std::cout << "  replayed on the RTL simulator: bad state confirmed.\n";
+    } else {
+      std::cout << "  BUG: counterexample does not replay!\n";
+      return 1;
+    }
+  }
+  return 0;
+}

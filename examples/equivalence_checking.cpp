@@ -1,0 +1,97 @@
+// Combinational equivalence checking with a validated proof — the EDA flow
+// that motivates the paper (its c5315/c7225 rows are exactly this).
+//
+// Two structurally different 16-bit adders (ripple-carry vs carry-select)
+// are mitered; UNSAT of the miter CNF proves equivalence, and the
+// resolution checker makes that claim trustworthy. A deliberately broken
+// third implementation shows the SAT side: the model is a concrete
+// counterexample input.
+
+#include <iostream>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/circuit/miter.hpp"
+#include "src/circuit/tseitin.hpp"
+#include "src/circuit/words.hpp"
+#include "src/cnf/model.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+namespace {
+
+using namespace satproof;
+
+std::uint64_t decode_word(const circuit::Word& w,
+                          const circuit::TseitinResult& ts, const Model& m) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (m[ts.wire_var[w[i]]] == LBool::True) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kWidth = 16;
+
+  // ---- the equivalent pair -------------------------------------------------
+  {
+    circuit::Netlist n;
+    const circuit::Word a = circuit::input_word(n, kWidth);
+    const circuit::Word b = circuit::input_word(n, kWidth);
+    const auto ripple = circuit::ripple_carry_adder(n, a, b);
+    const auto select = circuit::carry_select_adder(n, a, b);
+    const circuit::Wire miter =
+        circuit::build_miter(n, ripple.sum, select.sum);
+    const Formula f = circuit::miter_to_cnf(n, miter);
+    std::cout << "Miter(ripple-carry, carry-select), " << kWidth
+              << "-bit: " << f.num_vars() << " vars, " << f.num_clauses()
+              << " clauses\n";
+
+    solver::Solver s;
+    s.add_formula(f);
+    trace::MemoryTraceWriter w;
+    s.set_trace_writer(&w);
+    if (s.solve() != solver::SolveResult::Unsatisfiable) {
+      std::cout << "UNEXPECTED: adders differ!\n";
+      return 1;
+    }
+    const trace::MemoryTrace t = w.take();
+    trace::MemoryTraceReader reader(t);
+    const checker::CheckResult check = checker::check_breadth_first(f, reader);
+    if (!check.ok) {
+      std::cout << "proof check FAILED: " << check.error << "\n";
+      return 1;
+    }
+    std::cout << "  equivalent: UNSAT, proof validated ("
+              << check.stats.resolutions << " resolutions replayed)\n\n";
+  }
+
+  // ---- the buggy pair ------------------------------------------------------
+  {
+    circuit::Netlist n;
+    const circuit::Word a = circuit::input_word(n, kWidth);
+    const circuit::Word b = circuit::input_word(n, kWidth);
+    const auto ripple = circuit::ripple_carry_adder(n, a, b);
+    // "Optimized" adder with a wrong gate: bit 7 uses OR instead of XOR.
+    auto broken = circuit::ripple_carry_adder(n, a, b).sum;
+    broken[7] = n.make_or(a[7], b[7]);
+    const circuit::Wire miter = circuit::build_miter(n, ripple.sum, broken);
+    const circuit::Wire asserted[] = {miter};
+    const circuit::TseitinResult ts = circuit::tseitin(n, asserted);
+
+    solver::Solver s;
+    s.add_formula(ts.formula);
+    std::cout << "Miter(ripple-carry, buggy adder):\n";
+    if (s.solve() != solver::SolveResult::Satisfiable) {
+      std::cout << "UNEXPECTED: bug not found!\n";
+      return 1;
+    }
+    const std::uint64_t av = decode_word(a, ts, s.model());
+    const std::uint64_t bv = decode_word(b, ts, s.model());
+    std::cout << "  NOT equivalent; counterexample: a=" << av << " b=" << bv
+              << " (correct sum " << ((av + bv) & 0xffff) << ")\n";
+  }
+  return 0;
+}

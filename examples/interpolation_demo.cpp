@@ -1,0 +1,86 @@
+// Craig interpolation from checked resolution proofs — the era's landmark
+// "other application" (McMillan, CAV 2003): the same proof trace this
+// library validates also yields interpolants, the engine behind
+// SAT-based unbounded model checking.
+//
+// The pigeonhole principle splits naturally: A = "every pigeon sits
+// somewhere", B = "no hole holds two pigeons". The interpolant derived
+// from the refutation is a formula over the shared placement variables
+// that A implies and that contradicts B — a summary of *why* the pigeon
+// side defeats the hole side. Both properties are re-verified with the
+// solver before anything is reported.
+
+#include <iostream>
+
+#include "src/circuit/tseitin.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/proof/interpolant.hpp"
+#include "src/proof/proof_dag.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+int main() {
+  using namespace satproof;
+
+  constexpr unsigned kHoles = 5;
+  const Formula f = encode::pigeonhole(kHoles);
+  const unsigned pigeons = kHoles + 1;
+  std::vector<bool> in_a(f.num_clauses(), false);
+  for (ClauseId id = 0; id < pigeons; ++id) in_a[id] = true;
+  std::cout << "PHP(" << pigeons << "," << kHoles << "): A = " << pigeons
+            << " at-least-one clauses, B = " << f.num_clauses() - pigeons
+            << " at-most-one clauses\n";
+
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  if (s.solve() != solver::SolveResult::Unsatisfiable) return 1;
+
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader reader(t);
+  const proof::ProofDag dag = proof::extract_proof(f, reader);
+  const proof::Interpolant itp = proof::mcmillan_interpolant(f, dag, in_a);
+  std::cout << "Interpolant: circuit of " << itp.netlist.num_wires()
+            << " wires over " << itp.bindings.size()
+            << " shared variables\n";
+
+  // Verify A -> I.
+  {
+    std::vector<ClauseId> a_ids;
+    for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+      if (in_a[id]) a_ids.push_back(id);
+    }
+    Formula q = f.subformula(a_ids);
+    const auto var_of = circuit::tseitin_into(q, itp.netlist, itp.bindings);
+    q.add_clause({Lit::neg(var_of[itp.output])});
+    solver::Solver check;
+    check.add_formula(q);
+    if (check.solve() != solver::SolveResult::Unsatisfiable) {
+      std::cout << "FAILED: A does not imply I\n";
+      return 1;
+    }
+    std::cout << "verified: A implies I  (A && !I is UNSAT)\n";
+  }
+  // Verify I && B UNSAT.
+  {
+    std::vector<ClauseId> b_ids;
+    for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+      if (!in_a[id]) b_ids.push_back(id);
+    }
+    Formula q = f.subformula(b_ids);
+    q.ensure_var(f.num_vars() - 1);
+    const auto var_of = circuit::tseitin_into(q, itp.netlist, itp.bindings);
+    q.add_clause({Lit::pos(var_of[itp.output])});
+    solver::Solver check;
+    check.add_formula(q);
+    if (check.solve() != solver::SolveResult::Unsatisfiable) {
+      std::cout << "FAILED: I does not refute B\n";
+      return 1;
+    }
+    std::cout << "verified: I refutes B  (I && B is UNSAT)\n";
+  }
+  std::cout << "The interpolant summarizes, over shared variables only, why "
+               "the two halves conflict.\n";
+  return 0;
+}

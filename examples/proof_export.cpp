@@ -1,0 +1,55 @@
+// Exporting proofs for third-party consumption — the strongest form of the
+// paper's "independent checker" argument is letting *other people's*
+// checkers validate the proof too.
+//
+// Solves a small instance, extracts the resolution DAG, prints its shape,
+// and writes both a Graphviz rendering (proof.dot) and a TraceCheck-style
+// proof file (proof.trace) into the current directory.
+
+#include <fstream>
+#include <iostream>
+
+#include "src/encode/parity.hpp"
+#include "src/proof/export.hpp"
+#include "src/proof/proof_dag.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+int main() {
+  using namespace satproof;
+
+  const Formula f = encode::xor_chain(8, 123);
+  std::cout << "Instance: 8-variable XOR cycle with odd parity ("
+            << f.num_clauses() << " clauses, UNSAT)\n";
+
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  if (s.solve() != solver::SolveResult::Unsatisfiable) {
+    std::cout << "unexpected SAT\n";
+    return 1;
+  }
+
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader reader(t);
+  const proof::ProofDag dag = proof::extract_proof(f, reader);
+  const proof::ProofStats st = proof::compute_stats(dag);
+  std::cout << "Proof DAG: " << st.leaves << " leaves (of "
+            << f.num_clauses() << " original clauses), " << st.derived
+            << " derived clauses, depth " << st.depth << ", "
+            << st.resolutions << " resolutions\n";
+
+  {
+    std::ofstream dot("proof.dot");
+    proof::write_dot(dot, dag);
+  }
+  {
+    std::ofstream tc("proof.trace");
+    proof::write_tracecheck(tc, dag);
+  }
+  std::cout << "Wrote proof.dot (render: dot -Tpng proof.dot -o proof.png)\n"
+            << "Wrote proof.trace (TraceCheck-style: <id> <lits> 0 <antes> 0)"
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Unsatisfiable cores as a debugging aid — the Section 4 application of
+// the paper: "In FPGA routing, an unsatisfiable instance means that the
+// channels are un-routable. The unsatisfiable core can help the designers
+// concentrate on the reasons (constraints) that are responsible for the
+// routing failure."
+//
+// A 14-net channel with 5 tracks is generated with a congestion hot spot.
+// The iterated core shrinks the 1000-ish-clause instance to the handful of
+// constraints naming the 6 nets that actually over-subscribe the channel.
+
+#include <iostream>
+#include <set>
+
+#include "src/core/unsat_core.hpp"
+#include "src/encode/fpga_routing.hpp"
+
+int main() {
+  using namespace satproof;
+
+  constexpr unsigned kNets = 14;
+  constexpr unsigned kTracks = 5;
+  const Formula f = encode::fpga_routing(kNets, kTracks, 20, 4242);
+  std::cout << "Channel routing instance: " << kNets << " nets, " << kTracks
+            << " tracks -> " << f.num_vars() << " vars, " << f.num_clauses()
+            << " clauses\n";
+
+  const core::CoreIteration it = core::iterate_core(f, 30);
+  if (!it.ok) {
+    std::cout << "core extraction failed: " << it.error << "\n";
+    return 1;
+  }
+
+  std::cout << "Core sizes per iteration:";
+  for (const auto& step : it.steps) std::cout << " " << step.num_clauses;
+  std::cout << (it.fixed_point ? " (fixed point)" : " (iteration cap)")
+            << "\n";
+
+  // Map the core's variables back to nets: variable of net i, track t is
+  // i * kTracks + t.
+  std::set<unsigned> guilty_nets;
+  for (ClauseId id = 0; id < it.final_core.num_clauses(); ++id) {
+    for (const Lit lit : it.final_core.clause(id)) {
+      guilty_nets.insert(lit.var() / kTracks);
+    }
+  }
+  std::cout << "The routing failure involves " << guilty_nets.size()
+            << " of " << kNets << " nets:";
+  for (const unsigned net : guilty_nets) std::cout << " n" << net;
+  std::cout << "\n(" << kTracks + 1
+            << " nets crossing one column cannot share " << kTracks
+            << " tracks -- the core isolates the congestion for the "
+               "designer.)\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "src/bmc/counter.hpp"
+
+#include <stdexcept>
+
+#include "src/circuit/words.hpp"
+
+namespace satproof::bmc {
+
+SequentialCircuit make_counter(unsigned width, std::uint64_t bad_value) {
+  if (width == 0 || width > 63) {
+    throw std::invalid_argument("make_counter: width must be in [1, 63]");
+  }
+  if (bad_value >= (std::uint64_t{1} << width)) {
+    throw std::invalid_argument("make_counter: bad_value out of range");
+  }
+
+  SequentialCircuit seq;
+  circuit::Netlist& n = seq.comb;
+
+  circuit::Word state(width);
+  for (auto& w : state) w = n.add_input();
+  const circuit::Wire enable = n.add_input();
+
+  const circuit::Word incremented = circuit::incrementer(n, state);
+  circuit::Word next(width);
+  for (unsigned i = 0; i < width; ++i) {
+    next[i] = n.make_mux(enable, incremented[i], state[i]);
+  }
+
+  const circuit::Word target = circuit::constant_word(n, bad_value, width);
+  seq.bad = circuit::word_equal(n, state, target);
+
+  seq.registers.resize(width);
+  for (unsigned i = 0; i < width; ++i) {
+    seq.registers[i] = {state[i], next[i], false};
+  }
+  return seq;
+}
+
+}  // namespace satproof::bmc

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/bmc/sequential.hpp"
+
+namespace satproof::bmc {
+
+/// A gated up-counter with a forbidden value: the second BMC design of the
+/// suite, dual to the rotator in that its bad state *is* reachable — just
+/// not early.
+///
+/// A `width`-bit register starts at zero and increments (mod 2^width) on
+/// cycles where the free `enable` input is high. `bad` asserts when the
+/// counter equals `bad_value`. Reaching `bad_value` needs exactly
+/// `bad_value` enabled cycles, so unroll(k) is satisfiable iff
+/// k >= bad_value (for 0 < bad_value < 2^width) — a sharp, provable
+/// SAT/UNSAT frontier the tests pin down on both sides.
+[[nodiscard]] SequentialCircuit make_counter(unsigned width,
+                                             std::uint64_t bad_value);
+
+}  // namespace satproof::bmc

@@ -1,0 +1,53 @@
+#include "src/bmc/rotator.hpp"
+
+#include "src/circuit/words.hpp"
+
+namespace satproof::bmc {
+
+SequentialCircuit make_rotator(unsigned width, bool break_invariant) {
+  using circuit::Wire;
+  using circuit::Word;
+
+  SequentialCircuit seq;
+  circuit::Netlist& n = seq.comb;
+
+  // Register outputs are primary inputs of the combinational core.
+  Word state(width);
+  for (auto& w : state) w = n.add_input();
+
+  // Free inputs: enable, a 2-bit rotate amount, and optionally the
+  // invariant breaker.
+  const Wire enable = n.add_input();
+  Word amount(2);
+  for (auto& w : amount) w = n.add_input();
+  const Wire corrupt =
+      break_invariant ? n.add_input() : circuit::kInvalidWire;
+
+  const Word rotated = circuit::barrel_rotate_left(n, state, amount);
+  Word next(width);
+  for (unsigned i = 0; i < width; ++i) {
+    next[i] = n.make_mux(enable, rotated[i], state[i]);
+  }
+  if (break_invariant) {
+    next[0] = n.make_or(next[0], corrupt);
+  }
+
+  // bad = popcount(state) != 1 = (no bit set) | (some pair both set).
+  std::vector<Wire> pair_hits;
+  for (unsigned i = 0; i < width; ++i) {
+    for (unsigned j = i + 1; j < width; ++j) {
+      pair_hits.push_back(n.make_and(state[i], state[j]));
+    }
+  }
+  const Wire two_or_more = n.reduce_or(pair_hits);
+  const Wire none = n.make_not(n.reduce_or(state));
+  seq.bad = n.make_or(none, two_or_more);
+
+  seq.registers.resize(width);
+  for (unsigned i = 0; i < width; ++i) {
+    seq.registers[i] = {state[i], next[i], i == 0};
+  }
+  return seq;
+}
+
+}  // namespace satproof::bmc

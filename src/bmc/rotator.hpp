@@ -1,0 +1,25 @@
+#pragma once
+
+#include "src/bmc/sequential.hpp"
+
+namespace satproof::bmc {
+
+/// The `barrel`-style BMC instance: a one-hot token register rotated
+/// through a barrel shifter.
+///
+/// A `width`-bit register is initialized one-hot (bit 0 set). Each cycle,
+/// an enable input chooses between rotating the token left by a
+/// 2-bit-controlled barrel shifter (the rotate amount is a free input) and
+/// holding it. The `bad` wire asserts when the one-hot invariant breaks:
+/// zero tokens or two or more tokens. Rotation and hold both preserve
+/// one-hotness, so `bad` is unreachable and unroll(k) is UNSAT for every k
+/// — the shape of the paper's `barrel` row. `width` should be a power of
+/// two so rotation amounts wrap cleanly.
+///
+/// With `break_invariant` set, the circuit gains a free input that, when
+/// asserted, *sets* bit 0 regardless of the rotation — making `bad`
+/// reachable (a SAT instance) and giving the tests a counterexample case.
+[[nodiscard]] SequentialCircuit make_rotator(unsigned width,
+                                             bool break_invariant = false);
+
+}  // namespace satproof::bmc

@@ -1,0 +1,55 @@
+#include "src/bmc/sequential.hpp"
+
+#include <stdexcept>
+
+namespace satproof::bmc {
+
+std::vector<circuit::Wire> SequentialCircuit::free_inputs() const {
+  std::vector<bool> is_reg(comb.num_wires(), false);
+  for (const Register& r : registers) is_reg[r.q] = true;
+  std::vector<circuit::Wire> out;
+  for (const circuit::Wire w : comb.inputs()) {
+    if (!is_reg[w]) out.push_back(w);
+  }
+  return out;
+}
+
+bool SequentialCircuit::simulate_reaches_bad(
+    const std::vector<std::vector<bool>>& input_values) const {
+  // Map each combinational primary input to either a register or a free
+  // input position.
+  std::vector<std::size_t> reg_of(comb.num_wires(), ~std::size_t{0});
+  for (std::size_t r = 0; r < registers.size(); ++r) {
+    reg_of[registers[r].q] = r;
+  }
+
+  std::vector<bool> state(registers.size());
+  for (std::size_t r = 0; r < registers.size(); ++r) {
+    state[r] = registers[r].init;
+  }
+
+  for (std::size_t t = 0; t < input_values.size(); ++t) {
+    std::vector<bool> inputs;
+    inputs.reserve(comb.num_inputs());
+    std::size_t free_pos = 0;
+    for (const circuit::Wire w : comb.inputs()) {
+      if (reg_of[w] != ~std::size_t{0}) {
+        inputs.push_back(state[reg_of[w]]);
+      } else {
+        if (free_pos >= input_values[t].size()) {
+          throw std::invalid_argument(
+              "simulate_reaches_bad: too few free-input values");
+        }
+        inputs.push_back(input_values[t][free_pos++]);
+      }
+    }
+    const std::vector<bool> values = comb.simulate(inputs);
+    if (values[bad]) return true;
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      state[r] = values[registers[r].next];
+    }
+  }
+  return false;
+}
+
+}  // namespace satproof::bmc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace satproof::bmc {
+
+/// One state-holding element: `q` is the register's output *as seen by the
+/// combinational logic* (it must be a primary input of the combinational
+/// netlist), `next` is the wire computing the next-state value, and `init`
+/// is the reset value.
+struct Register {
+  circuit::Wire q = circuit::kInvalidWire;
+  circuit::Wire next = circuit::kInvalidWire;
+  bool init = false;
+};
+
+/// A Mealy-style sequential circuit: combinational core plus registers plus
+/// one `bad` wire flagging a property violation. Primary inputs of the
+/// combinational netlist that are not register outputs are free inputs of
+/// the design.
+///
+/// This is the substrate for the paper's bounded-model-checking rows
+/// (barrel, longmult come from the BMC benchmark suite of Biere et al.):
+/// bmc::unroll() turns "is `bad` reachable within k steps" into CNF.
+struct SequentialCircuit {
+  circuit::Netlist comb;
+  std::vector<Register> registers;
+  circuit::Wire bad = circuit::kInvalidWire;
+
+  /// Free (non-register) primary inputs, in creation order.
+  [[nodiscard]] std::vector<circuit::Wire> free_inputs() const;
+
+  /// Simulates `steps` cycles from the reset state with the given values on
+  /// the free inputs (input_values[t][i] = value of free input i at cycle
+  /// t). Returns true iff `bad` is asserted at any of cycles 0..steps.
+  [[nodiscard]] bool simulate_reaches_bad(
+      const std::vector<std::vector<bool>>& input_values) const;
+};
+
+}  // namespace satproof::bmc

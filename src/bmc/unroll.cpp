@@ -1,0 +1,60 @@
+#include "src/bmc/unroll.hpp"
+
+#include <stdexcept>
+
+#include "src/circuit/tseitin.hpp"
+
+namespace satproof::bmc {
+
+UnrollResult unroll_detailed(const SequentialCircuit& seq, unsigned k) {
+  circuit::Netlist whole;
+  std::vector<circuit::Wire> bads;
+  bads.reserve(k + 1);
+  std::vector<std::vector<circuit::Wire>> frame_input_wires(k + 1);
+
+  // Current value of each register at the frame being built.
+  std::vector<circuit::Wire> state(seq.registers.size());
+  for (std::size_t r = 0; r < seq.registers.size(); ++r) {
+    state[r] = whole.constant(seq.registers[r].init);
+  }
+
+  for (unsigned t = 0; t <= k; ++t) {
+    std::vector<circuit::Wire> input_map(seq.comb.num_wires(),
+                                         circuit::kInvalidWire);
+    for (std::size_t r = 0; r < seq.registers.size(); ++r) {
+      input_map[seq.registers[r].q] = state[r];
+    }
+    for (const circuit::Wire w : seq.comb.inputs()) {
+      if (input_map[w] == circuit::kInvalidWire) {
+        input_map[w] = whole.add_input();  // fresh free input per frame
+        frame_input_wires[t].push_back(input_map[w]);
+      }
+    }
+    const std::vector<circuit::Wire> map =
+        circuit::copy_into(whole, seq.comb, input_map);
+    bads.push_back(map[seq.bad]);
+    for (std::size_t r = 0; r < seq.registers.size(); ++r) {
+      state[r] = map[seq.registers[r].next];
+    }
+  }
+
+  const circuit::Wire any_bad = whole.reduce_or(bads);
+  const circuit::Wire asserted[] = {any_bad};
+  circuit::TseitinResult ts = circuit::tseitin(whole, asserted);
+
+  UnrollResult out;
+  out.formula = std::move(ts.formula);
+  out.frame_inputs.resize(k + 1);
+  for (unsigned t = 0; t <= k; ++t) {
+    for (const circuit::Wire w : frame_input_wires[t]) {
+      out.frame_inputs[t].push_back(ts.wire_var[w]);
+    }
+  }
+  return out;
+}
+
+Formula unroll(const SequentialCircuit& seq, unsigned k) {
+  return unroll_detailed(seq, k).formula;
+}
+
+}  // namespace satproof::bmc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/bmc/sequential.hpp"
+#include "src/cnf/formula.hpp"
+
+namespace satproof::bmc {
+
+/// Bounded model checking unrolling (Biere et al., the technique behind the
+/// paper's barrel/longmult rows): builds a CNF that is satisfiable iff the
+/// circuit's `bad` wire can be asserted within `k` transitions of the reset
+/// state (i.e. at any of time frames 0..k). An UNSAT answer — the
+/// interesting case for proof checking — certifies the property holds up to
+/// the bound.
+[[nodiscard]] Formula unroll(const SequentialCircuit& seq, unsigned k);
+
+/// unroll() plus the variable map needed to decode counterexamples.
+struct UnrollResult {
+  Formula formula;
+  /// frame_inputs[t][i] is the CNF variable of the i-th free input (in
+  /// SequentialCircuit::free_inputs() order) at time frame t.
+  std::vector<std::vector<Var>> frame_inputs;
+};
+
+/// As unroll(), also returning the per-frame free-input variables so a
+/// satisfying model can be replayed as a concrete input sequence (see
+/// examples/bmc_demo.cpp and the BMC tests, which cross-check the model
+/// against SequentialCircuit::simulate_reaches_bad).
+[[nodiscard]] UnrollResult unroll_detailed(const SequentialCircuit& seq,
+                                           unsigned k);
+
+}  // namespace satproof::bmc

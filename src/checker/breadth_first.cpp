@@ -1,0 +1,265 @@
+#include "src/checker/breadth_first.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+namespace satproof::checker {
+
+namespace {
+
+class BreadthFirstChecker {
+ public:
+  BreadthFirstChecker(const Formula& f, trace::TraceReader& reader,
+                      const BreadthFirstOptions& options)
+      : formula_(&f),
+        reader_(&reader),
+        options_(options),
+        level0_(reader.num_vars()),
+        counts_(make_use_count_store(options.use_counts)) {}
+
+  CheckResult run() {
+    CheckResult result;
+    try {
+      check_header(*formula_, reader_->num_vars(), reader_->num_original());
+      scan_pass();
+      counting_pass();
+      if (!final_id_.has_value()) {
+        throw CheckFailure(
+            "trace has no final conflicting clause; it does not claim "
+            "unsatisfiability");
+      }
+      mem_.add(counts_->memory_bytes());
+      mem_.add(level0_.size() * 16);
+      resolution_pass();
+      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+        return fetch_clause(id);
+      };
+      SortedClause remaining =
+          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      if (!remaining.empty()) {
+        validate_assumption_clause(remaining, level0_);
+        result.failed_assumption_clause = std::move(remaining);
+      }
+      result.ok = true;
+    } catch (const CheckFailure& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (const std::runtime_error& e) {
+      result.ok = false;
+      result.error = std::string("trace error: ") + e.what();
+    }
+    stats_.peak_mem_bytes = mem_.peak_bytes();
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] ClauseId num_original() const {
+    return reader_->num_original();
+  }
+
+  [[nodiscard]] std::uint64_t ordinal(ClauseId id) const {
+    return id - num_original();
+  }
+
+  /// First traversal: validates record structure, sizes the use-count
+  /// store, collects the final conflict and the level-0 table, and pins
+  /// (pre-increments) the clauses the final derivation may need.
+  void scan_pass() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    std::optional<ClauseId> last_id;
+    while (!ended && reader_->next(rec)) {
+      switch (rec.kind) {
+        case trace::RecordKind::Derivation: {
+          if (rec.id < num_original()) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " reuses an original clause ID");
+          }
+          if (last_id.has_value() && rec.id <= *last_id) {
+            throw CheckFailure(
+                "derivation IDs must be strictly increasing (clause " +
+                std::to_string(rec.id) + " after " + std::to_string(*last_id) +
+                ")");
+          }
+          if (rec.sources.size() < 2) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " has fewer than two resolve sources");
+          }
+          for (const ClauseId s : rec.sources) {
+            if (s >= rec.id) {
+              throw CheckFailure(
+                  "derivation " + std::to_string(rec.id) +
+                  " references source " + std::to_string(s) +
+                  " that does not precede it");
+            }
+          }
+          last_id = rec.id;
+          ++stats_.total_derivations;
+          break;
+        }
+        case trace::RecordKind::FinalConflict:
+          if (final_id_.has_value()) {
+            throw CheckFailure("trace has more than one final conflict record");
+          }
+          final_id_ = rec.id;
+          break;
+        case trace::RecordKind::Level0:
+          level0_.add(rec.var, rec.value, rec.antecedent);
+          break;
+        case trace::RecordKind::Assumption:
+          level0_.add_assumption(rec.var, rec.value);
+          break;
+        case trace::RecordKind::End:
+          ended = true;
+          break;
+      }
+    }
+    if (!ended) throw CheckFailure("trace truncated: missing end record");
+
+    num_learned_slots_ = last_id.has_value() ? ordinal(*last_id) + 1 : 0;
+    counts_->resize(num_learned_slots_);
+  }
+
+  /// Second traversal(s): count how often each learned clause is used as a
+  /// resolve source, then pin the clauses needed by the final derivation.
+  /// With options_.count_range > 0 the counting is performed in several
+  /// passes, each covering one range of learned-clause ordinals.
+  void counting_pass() {
+    const std::uint64_t range =
+        options_.count_range == 0 ? num_learned_slots_ : options_.count_range;
+    for (std::uint64_t lo = 0; lo < num_learned_slots_; lo += range) {
+      const std::uint64_t hi = lo + range;
+      reader_->rewind();
+      trace::Record rec;
+      bool ended = false;
+      while (!ended && reader_->next(rec)) {
+        if (rec.kind == trace::RecordKind::End) {
+          ended = true;
+        } else if (rec.kind == trace::RecordKind::Derivation) {
+          for (const ClauseId s : rec.sources) {
+            if (s < num_original()) continue;
+            const std::uint64_t ord = ordinal(s);
+            if (ord >= lo && ord < hi) counts_->increment(ord);
+          }
+        }
+      }
+    }
+
+    // Pin the final conflicting clause and every level-0 antecedent: they
+    // must survive the streaming pass for the empty-clause derivation.
+    if (final_id_.has_value() && *final_id_ >= num_original()) {
+      counts_->increment(ordinal(*final_id_));
+    }
+    for (Var v = 0; v < reader_->num_vars(); ++v) {
+      if (level0_.implied(v) && level0_.antecedent(v) >= num_original()) {
+        const ClauseId a = level0_.antecedent(v);
+        if (ordinal(a) >= num_learned_slots_) {
+          throw CheckFailure("level-0 antecedent " + std::to_string(a) +
+                             " of x" + std::to_string(v) +
+                             " is never derived in the trace");
+        }
+        counts_->increment(ordinal(a));
+      }
+    }
+  }
+
+  /// Third traversal: replay every derivation in generation order,
+  /// releasing clauses whose uses are exhausted (the core of Section 3.3).
+  void resolution_pass() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    while (!ended && reader_->next(rec)) {
+      if (rec.kind == trace::RecordKind::End) {
+        ended = true;
+        continue;
+      }
+      if (rec.kind != trace::RecordKind::Derivation) continue;
+
+      chain_.start(fetch_clause(rec.sources[0]));
+      for (std::size_t i = 1; i < rec.sources.size(); ++i) {
+        const ResolveResult r = chain_.step(fetch_clause(rec.sources[i]));
+        ++stats_.resolutions;
+        if (r.status != ResolveStatus::Ok) {
+          throw CheckFailure(
+              "derivation of clause " + std::to_string(rec.id) +
+              ": resolving with source " + std::to_string(rec.sources[i]) +
+              " (step " + std::to_string(i) + ") failed: " +
+              (r.status == ResolveStatus::NoClash
+                   ? "no clashing variable"
+                   : "more than one clashing variable"));
+        }
+      }
+      ++stats_.clauses_built;
+
+      // Release sources whose last use this was.
+      for (const ClauseId s : rec.sources) {
+        if (s < num_original()) continue;
+        if (counts_->decrement(ordinal(s)) == 0) release(s);
+      }
+      // Keep the freshly built clause only if something still needs it.
+      if (counts_->get(ordinal(rec.id)) > 0) {
+        SortedClause derived = chain_.take();
+        std::sort(derived.begin(), derived.end());
+        mem_.add(util::clause_footprint_bytes(derived.size()));
+        live_.emplace(rec.id, std::move(derived));
+      }
+    }
+  }
+
+  /// Fetches a clause for resolution: originals are canonicalized into a
+  /// scratch buffer (the formula itself stays the single copy in memory);
+  /// learned clauses come from the live window. The returned reference is
+  /// valid until the next fetch.
+  const SortedClause& fetch_clause(ClauseId id) {
+    if (id < num_original()) {
+      scratch_ = canonicalize(formula_->clause(id));
+      if (is_tautology(scratch_)) {
+        throw CheckFailure(
+            "original clause " + std::to_string(id) +
+            " is tautological and cannot be a resolution source");
+      }
+      return scratch_;
+    }
+    const auto it = live_.find(id);
+    if (it == live_.end()) {
+      throw CheckFailure(
+          "clause " + std::to_string(id) +
+          " is not available: it was never derived, or its use count was "
+          "exhausted earlier than the trace implies");
+    }
+    return it->second;
+  }
+
+  void release(ClauseId id) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) return;  // built but discarded immediately
+    mem_.remove(util::clause_footprint_bytes(it->second.size()));
+    live_.erase(it);
+  }
+
+  const Formula* formula_;
+  trace::TraceReader* reader_;
+  BreadthFirstOptions options_;
+  Level0Table level0_;
+  std::unique_ptr<UseCountStore> counts_;
+  std::optional<ClauseId> final_id_;
+  std::uint64_t num_learned_slots_ = 0;
+  std::unordered_map<ClauseId, SortedClause> live_;
+  SortedClause scratch_;
+  ChainResolver chain_;
+  util::MemTracker mem_;
+  CheckStats stats_;
+};
+
+}  // namespace
+
+CheckResult check_breadth_first(const Formula& f, trace::TraceReader& reader,
+                                const BreadthFirstOptions& options) {
+  BreadthFirstChecker checker(f, reader, options);
+  return checker.run();
+}
+
+}  // namespace satproof::checker

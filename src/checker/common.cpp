@@ -1,0 +1,208 @@
+#include "src/checker/common.hpp"
+
+#include <algorithm>
+
+namespace satproof::checker {
+
+namespace {
+
+std::string lit_str(Lit lit) { return to_string(lit); }
+
+}  // namespace
+
+Level0Table::Level0Table(Var num_vars) : entries_(num_vars) {}
+
+void Level0Table::add(Var var, bool value, ClauseId antecedent) {
+  if (var >= entries_.size()) {
+    throw CheckFailure("level-0 record assigns variable x" +
+                       std::to_string(var) + " beyond the declared range");
+  }
+  Entry& e = entries_[var];
+  if (e.assigned) {
+    throw CheckFailure("level-0 record assigns variable x" +
+                       std::to_string(var) + " twice");
+  }
+  e.assigned = true;
+  e.value = value;
+  e.antecedent = antecedent;
+  e.order = static_cast<std::uint32_t>(count_++);
+}
+
+void Level0Table::add_assumption(Var var, bool value) {
+  if (var >= entries_.size()) {
+    throw CheckFailure("assumption record names variable x" +
+                       std::to_string(var) + " beyond the declared range");
+  }
+  Entry& e = entries_[var];
+  if (e.assumed) {
+    throw CheckFailure("variable x" + std::to_string(var) + " assumed twice");
+  }
+  e.assumed = true;
+  e.assumed_value = value;
+  ++num_assumed_;
+  if (!e.assigned) {
+    // An assumption decision: it occupies a trail slot of its own.
+    e.assigned = true;
+    e.value = value;
+    e.antecedent = kInvalidClauseId;
+    e.order = static_cast<std::uint32_t>(count_++);
+  }
+}
+
+LBool Level0Table::lit_value(Lit lit) const {
+  const Var v = lit.var();
+  if (v >= entries_.size() || !entries_[v].assigned) return LBool::Undef;
+  const bool val = lit.negated() ? !entries_[v].value : entries_[v].value;
+  return val ? LBool::True : LBool::False;
+}
+
+void check_antecedent(const SortedClause& clause, Var var,
+                      const Level0Table& table, const std::string& what) {
+  // The antecedent must be unit under the prefix of the level-0 trail that
+  // precedes `var`'s assignment, with `var`'s literal as the unit literal.
+  bool found_unit = false;
+  for (const Lit lit : clause) {
+    if (lit.var() == var) {
+      if (table.lit_value(lit) != LBool::True) {
+        throw CheckFailure(what + " contains " + lit_str(lit) +
+                           ", the opposite phase of the implied literal of x" +
+                           std::to_string(var));
+      }
+      found_unit = true;
+      continue;
+    }
+    const LBool v = table.lit_value(lit);
+    if (v == LBool::Undef) {
+      throw CheckFailure(what + " is not a valid antecedent of x" +
+                         std::to_string(var) + ": literal " + lit_str(lit) +
+                         " is unassigned at level 0");
+    }
+    if (v == LBool::True) {
+      throw CheckFailure(what + " is not a valid antecedent of x" +
+                         std::to_string(var) + ": literal " + lit_str(lit) +
+                         " is true, so the clause never became unit");
+    }
+    if (table.order(lit.var()) >= table.order(var)) {
+      throw CheckFailure(what + " is not a valid antecedent of x" +
+                         std::to_string(var) + ": literal " + lit_str(lit) +
+                         " was assigned after x" + std::to_string(var));
+    }
+  }
+  if (!found_unit) {
+    throw CheckFailure(what + " does not contain variable x" +
+                       std::to_string(var) +
+                       ", so it cannot be its antecedent");
+  }
+}
+
+SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
+                                 const Level0Table& table, CheckStats& stats) {
+  ChainResolver chain;
+  {
+    const SortedClause& final_clause = fetch(final_id);
+    for (const Lit lit : final_clause) {
+      const LBool v = table.lit_value(lit);
+      if (v == LBool::Undef) {
+        throw CheckFailure("final clause " + std::to_string(final_id) +
+                           ": literal " + lit_str(lit) +
+                           " has no final-trail assignment");
+      }
+      // A true literal is only legitimate over an assumed variable (the
+      // failed assumption was implied to its opposite value).
+      if (v == LBool::True && !table.is_assumed(lit.var())) {
+        throw CheckFailure(
+            "final clause " + std::to_string(final_id) +
+            " is not conflicting: literal " + lit_str(lit) +
+            " is true and its variable is not an assumption");
+      }
+    }
+    chain.start(final_clause);
+  }
+
+  std::size_t steps = 0;
+  const std::size_t max_steps = table.size() + 1;
+  while (true) {
+    // Reverse chronological choice (Fig. 2's choose_literal) among the
+    // resolvable literals: false, and implied (assumption decisions have no
+    // antecedent and stay in the clause).
+    Lit chosen = Lit::invalid();
+    for (const Lit lit : chain.lits()) {
+      const Var v = lit.var();
+      if (!table.assigned(v)) {
+        throw CheckFailure("literal " + lit_str(lit) +
+                           " in the derivation has no final-trail assignment");
+      }
+      if (table.lit_value(lit) != LBool::False || !table.implied(v)) continue;
+      if (chosen == Lit::invalid() ||
+          table.order(v) > table.order(chosen.var())) {
+        chosen = lit;
+      }
+    }
+    if (chosen == Lit::invalid()) break;
+    if (++steps > max_steps) {
+      throw CheckFailure(
+          "final-clause derivation did not terminate within the trail "
+          "length; the antecedent chain is circular");
+    }
+    const Var v = chosen.var();
+    const ClauseId ante_id = table.antecedent(v);
+    const SortedClause& ante = fetch(ante_id);
+    check_antecedent(ante, v, table, "antecedent clause " +
+                                         std::to_string(ante_id) + " of x" +
+                                         std::to_string(v));
+    const ResolveResult r = chain.step(ante);
+    ++stats.resolutions;
+    if (r.status != ResolveStatus::Ok) {
+      throw CheckFailure(
+          "resolution of the running clause with antecedent " +
+          std::to_string(ante_id) + " failed: " +
+          (r.status == ResolveStatus::NoClash ? "no clashing variable"
+                                              : "more than one clashing variable"));
+    }
+  }
+
+  SortedClause remaining = chain.take();
+  std::sort(remaining.begin(), remaining.end());
+  if (!table.has_assumptions() && !remaining.empty()) {
+    throw CheckFailure(
+        "final-clause derivation stopped at a non-empty clause with no "
+        "assumptions recorded; literal " + lit_str(remaining.front()) +
+        " cannot be resolved away");
+  }
+  return remaining;
+}
+
+void validate_assumption_clause(const SortedClause& clause,
+                                const Level0Table& table) {
+  for (const Lit lit : clause) {
+    const Var v = lit.var();
+    if (!table.is_assumed(v)) {
+      throw CheckFailure("derived final clause contains " + lit_str(lit) +
+                         ", whose variable is not a recorded assumption");
+    }
+    // The literal must be the *negation* of the assumed literal.
+    if (lit != Lit(v, table.assumed_value(v))) {
+      throw CheckFailure("derived final clause contains " + lit_str(lit) +
+                         ", which has the same polarity as the assumption "
+                         "on x" + std::to_string(v) +
+                         " and therefore refutes nothing");
+    }
+  }
+}
+
+void check_header(const Formula& f, Var trace_vars, ClauseId trace_original) {
+  if (trace_original != f.num_clauses()) {
+    throw CheckFailure(
+        "trace header declares " + std::to_string(trace_original) +
+        " original clauses but the formula has " +
+        std::to_string(f.num_clauses()) +
+        "; the solver and checker disagree on clause IDs");
+  }
+  if (trace_vars < f.num_vars()) {
+    throw CheckFailure("trace header declares fewer variables (" +
+                       std::to_string(trace_vars) + ") than the formula (" +
+                       std::to_string(f.num_vars()) + ")");
+  }
+}
+
+}  // namespace satproof::checker

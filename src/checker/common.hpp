@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/checker/resolution.hpp"
+#include "src/cnf/formula.hpp"
+#include "src/trace/events.hpp"
+#include "src/util/mem_tracker.hpp"
+
+namespace satproof::checker {
+
+/// Counters shared by both checker implementations; the raw material of the
+/// paper's Table 2.
+struct CheckStats {
+  /// Derivation records in the trace (learned clauses the solver reported).
+  std::uint64_t total_derivations = 0;
+  /// Learned clauses whose literals were actually constructed. For the
+  /// depth-first checker this is the "Num. Cls Built" column (19-90% of the
+  /// total in the paper); the breadth-first checker always builds all.
+  std::uint64_t clauses_built = 0;
+  /// Individual resolution steps performed (including the final
+  /// empty-clause derivation).
+  std::uint64_t resolutions = 0;
+  /// Peak accounted memory: clauses held plus, for the depth-first checker,
+  /// the in-memory trace (Section 3.2: "the checker needs to read in the
+  /// entire trace file into main memory").
+  std::size_t peak_mem_bytes = 0;
+  /// Distinct original clauses used by the proof (depth-first only); the
+  /// size of the unsatisfiable core of Table 3.
+  std::uint64_t core_original_clauses = 0;
+};
+
+/// Outcome of a checking run.
+struct CheckResult {
+  /// True when the trace constitutes a valid resolution proof of
+  /// unsatisfiability of the formula.
+  bool ok = false;
+  /// Diagnostic for the first failed check ("as much information as
+  /// possible about the failure to help debug the solver", Section 3.2).
+  std::string error;
+  CheckStats stats;
+  /// Depth-first with collect_core: sorted IDs of the original clauses that
+  /// appear as leaves of the resolution proof — an unsatisfiable core.
+  std::vector<ClauseId> core;
+  /// For traces of UNSAT-under-assumptions runs: the validated derived
+  /// clause, whose literals are all negations of assumed literals (the
+  /// formula implies it, refuting that assumption subset). Empty for
+  /// unconditional unsatisfiability proofs.
+  std::vector<Lit> failed_assumption_clause;
+
+  /// Convenience: true iff the check succeeded.
+  explicit operator bool() const { return ok; }
+};
+
+/// Failure raised internally by checker components; converted into a
+/// CheckResult with ok == false at the API boundary.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The final-trail assignment table reconstructed from the trace's Level0
+/// and Assumption records (Section 3.1, item 3; assumptions are the
+/// incremental-query extension). Implied variables carry an antecedent
+/// clause ID; assumption decisions do not.
+class Level0Table {
+ public:
+  /// Prepares a table for `num_vars` variables.
+  explicit Level0Table(Var num_vars);
+
+  /// Registers one Level0 (implied assignment) record. Throws CheckFailure
+  /// on a repeated or out-of-range variable.
+  void add(Var var, bool value, ClauseId antecedent);
+
+  /// Registers one Assumption record: `var` was assumed to take `value`.
+  /// If the variable has no trail entry yet, this also becomes its trail
+  /// entry (an assumption decision); if it does (the failed assumption is
+  /// implied to the *opposite* value before its enqueue), only the
+  /// assumed-polarity bookkeeping is added. Throws CheckFailure on a
+  /// repeated assumption or out-of-range variable.
+  void add_assumption(Var var, bool value);
+
+  [[nodiscard]] bool assigned(Var v) const { return v < entries_.size() && entries_[v].assigned; }
+  [[nodiscard]] bool value(Var v) const { return entries_[v].value; }
+  [[nodiscard]] ClauseId antecedent(Var v) const { return entries_[v].antecedent; }
+  /// True when `v` is assigned with an antecedent (resolvable).
+  [[nodiscard]] bool implied(Var v) const {
+    return assigned(v) && entries_[v].antecedent != kInvalidClauseId;
+  }
+  /// Chronological rank of the assignment (0 = first on the trail).
+  [[nodiscard]] std::uint32_t order(Var v) const { return entries_[v].order; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Assumption bookkeeping.
+  [[nodiscard]] bool has_assumptions() const { return num_assumed_ > 0; }
+  [[nodiscard]] bool is_assumed(Var v) const {
+    return v < entries_.size() && entries_[v].assumed;
+  }
+  [[nodiscard]] bool assumed_value(Var v) const {
+    return entries_[v].assumed_value;
+  }
+
+  /// Value of `lit` under the table: False, True, or Undef if unassigned.
+  [[nodiscard]] LBool lit_value(Lit lit) const;
+
+ private:
+  struct Entry {
+    bool assigned = false;
+    bool value = false;
+    bool assumed = false;
+    bool assumed_value = false;
+    ClauseId antecedent = kInvalidClauseId;
+    std::uint32_t order = 0;
+  };
+  std::vector<Entry> entries_;
+  std::size_t count_ = 0;
+  std::size_t num_assumed_ = 0;
+};
+
+/// Validates that `clause` really is the antecedent of `var` under the
+/// level-0 assignment: it contains the literal that makes `var` true, and
+/// every other literal is false and was assigned strictly earlier. This is
+/// the paper's "whether the clause is really the antecedent of the
+/// variable" check. Throws CheckFailure with a diagnostic otherwise.
+/// `what` names the clause in diagnostics (e.g. "clause 42").
+void check_antecedent(const SortedClause& clause, Var var,
+                      const Level0Table& table, const std::string& what);
+
+/// Callback that produces the canonical clause for an ID, or throws
+/// CheckFailure. The depth-first checker builds on demand; the breadth-first
+/// checker looks up its live window.
+using ClauseFetcher = std::function<const SortedClause&(ClauseId)>;
+
+/// Derives the trace's final clause, exactly as in the proof of
+/// Proposition 3: starting from the final conflicting clause, repeatedly
+/// resolve on the *most recently assigned* remaining implied variable
+/// using its antecedent, until only unresolvable literals remain. Choosing
+/// literals in reverse chronological order guarantees no variable is
+/// chosen twice, so the loop performs at most |trail| resolutions.
+///
+/// Without assumptions the result must be the empty clause (checked here:
+/// every final-clause literal must be false and implied). With assumptions
+/// the remaining literals are returned for validation against the assumed
+/// set (validate_assumption_clause). Throws CheckFailure on any invalid
+/// step; increments `stats.resolutions`.
+[[nodiscard]] SortedClause derive_final_clause(ClauseId final_id,
+                                               const ClauseFetcher& fetch,
+                                               const Level0Table& table,
+                                               CheckStats& stats);
+
+/// Validates the outcome of derive_final_clause: empty is always fine
+/// (unconditional unsatisfiability); otherwise every literal must be the
+/// negation of a recorded assumption, making the clause a proof that the
+/// formula refutes that assumption subset. Throws CheckFailure otherwise.
+void validate_assumption_clause(const SortedClause& clause,
+                                const Level0Table& table);
+
+/// Validates the trace header against the formula (the ID contract of
+/// Section 3.1). Throws CheckFailure on mismatch.
+void check_header(const Formula& f, Var trace_vars, ClauseId trace_original);
+
+}  // namespace satproof::checker

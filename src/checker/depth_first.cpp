@@ -1,0 +1,231 @@
+#include "src/checker/depth_first.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace satproof::checker {
+
+namespace {
+
+/// Estimated resident size of one loaded derivation record.
+std::size_t derivation_record_bytes(std::size_t num_sources) {
+  return num_sources * sizeof(ClauseId) + 48;
+}
+
+class DepthFirstChecker {
+ public:
+  DepthFirstChecker(const Formula& f, trace::TraceReader& reader)
+      : formula_(&f), reader_(&reader), level0_(reader.num_vars()) {}
+
+  CheckResult run(const DepthFirstOptions& options) {
+    CheckResult result;
+    try {
+      check_header(*formula_, reader_->num_vars(), reader_->num_original());
+      load_trace();
+      if (!final_id_.has_value()) {
+        throw CheckFailure(
+            "trace has no final conflicting clause; it does not claim "
+            "unsatisfiability");
+      }
+      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+        return build(id);
+      };
+      SortedClause remaining =
+          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      if (!remaining.empty()) {
+        validate_assumption_clause(remaining, level0_);
+        result.failed_assumption_clause = std::move(remaining);
+      }
+      result.ok = true;
+    } catch (const CheckFailure& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (const std::runtime_error& e) {
+      result.ok = false;
+      result.error = std::string("trace error: ") + e.what();
+    }
+    stats_.peak_mem_bytes = mem_.peak_bytes();
+    for (const auto& [id, clause] : memo_) {
+      if (id < num_original()) ++stats_.core_original_clauses;
+    }
+    result.stats = stats_;
+    if (result.ok && options.collect_core) {
+      result.core.reserve(stats_.core_original_clauses);
+      for (const auto& [id, clause] : memo_) {
+        if (id < num_original()) result.core.push_back(id);
+      }
+      std::sort(result.core.begin(), result.core.end());
+    }
+    return result;
+  }
+
+ private:
+  [[nodiscard]] ClauseId num_original() const {
+    return reader_->num_original();
+  }
+
+  void load_trace() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    while (!ended && reader_->next(rec)) {
+      switch (rec.kind) {
+        case trace::RecordKind::Derivation: {
+          if (rec.id < num_original()) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " reuses an original clause ID");
+          }
+          if (rec.sources.size() < 2) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " has fewer than two resolve sources");
+          }
+          for (const ClauseId s : rec.sources) {
+            if (s >= rec.id) {
+              throw CheckFailure(
+                  "derivation " + std::to_string(rec.id) +
+                  " references source " + std::to_string(s) +
+                  " that does not precede it; derivations must be acyclic");
+            }
+          }
+          const auto [it, inserted] =
+              derivations_.emplace(rec.id, std::move(rec.sources));
+          if (!inserted) {
+            throw CheckFailure("clause " + std::to_string(rec.id) +
+                               " is derived twice");
+          }
+          mem_.add(derivation_record_bytes(it->second.size()));
+          ++stats_.total_derivations;
+          break;
+        }
+        case trace::RecordKind::FinalConflict:
+          if (final_id_.has_value()) {
+            throw CheckFailure("trace has more than one final conflict record");
+          }
+          final_id_ = rec.id;
+          break;
+        case trace::RecordKind::Level0:
+          level0_.add(rec.var, rec.value, rec.antecedent);
+          mem_.add(16);
+          break;
+        case trace::RecordKind::Assumption:
+          level0_.add_assumption(rec.var, rec.value);
+          mem_.add(16);
+          break;
+        case trace::RecordKind::End:
+          ended = true;
+          break;
+      }
+    }
+    if (!ended) {
+      throw CheckFailure("trace truncated: missing end record");
+    }
+  }
+
+  /// Returns the canonical clause for `id`, building it (and, recursively,
+  /// its sources) on demand — recursive_build() of Fig. 3, with an explicit
+  /// stack so pathological traces cannot overflow the call stack.
+  const SortedClause& build(ClauseId id) {
+    if (const auto it = memo_.find(id); it != memo_.end()) return it->second;
+    if (id < num_original()) return build_original(id);
+
+    struct Frame {
+      ClauseId id;
+      const std::vector<ClauseId>* sources;
+      std::size_t scan = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({id, &sources_of(id)});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      bool descended = false;
+      while (f.scan < f.sources->size()) {
+        const ClauseId s = (*f.sources)[f.scan];
+        if (memo_.contains(s)) {
+          ++f.scan;
+          continue;
+        }
+        if (s < num_original()) {
+          build_original(s);
+          ++f.scan;
+          continue;
+        }
+        // Sources strictly precede the derived ID (validated at load), so
+        // this descent terminates.
+        stack.push_back({s, &sources_of(s)});
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      fold_sources(f.id, *f.sources);
+      stack.pop_back();
+    }
+    return memo_.at(id);
+  }
+
+  const SortedClause& build_original(ClauseId id) {
+    SortedClause canon = canonicalize(formula_->clause(id));
+    if (is_tautology(canon)) {
+      throw CheckFailure("original clause " + std::to_string(id) +
+                         " is tautological and cannot be a resolution source");
+    }
+    const auto [it, inserted] = memo_.emplace(id, std::move(canon));
+    if (inserted) {
+      mem_.add(util::clause_footprint_bytes(it->second.size()));
+    }
+    return it->second;
+  }
+
+  const std::vector<ClauseId>& sources_of(ClauseId id) {
+    const auto it = derivations_.find(id);
+    if (it == derivations_.end()) {
+      throw CheckFailure("clause " + std::to_string(id) +
+                         " is referenced but never derived in the trace");
+    }
+    return it->second;
+  }
+
+  /// Replays one derivation: left-fold resolution over the sources, which
+  /// must all be memoized by now.
+  void fold_sources(ClauseId id, const std::vector<ClauseId>& sources) {
+    chain_.start(memo_.at(sources[0]));
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+      const ResolveResult r = chain_.step(memo_.at(sources[i]));
+      ++stats_.resolutions;
+      if (r.status != ResolveStatus::Ok) {
+        throw CheckFailure(
+            "derivation of clause " + std::to_string(id) + ": resolving with "
+            "source " + std::to_string(sources[i]) + " (step " +
+            std::to_string(i) + ") failed: " +
+            (r.status == ResolveStatus::NoClash
+                 ? "no clashing variable"
+                 : "more than one clashing variable"));
+      }
+    }
+    SortedClause derived = chain_.take();
+    std::sort(derived.begin(), derived.end());
+    mem_.add(util::clause_footprint_bytes(derived.size()));
+    memo_.emplace(id, std::move(derived));
+    ++stats_.clauses_built;
+  }
+
+  const Formula* formula_;
+  trace::TraceReader* reader_;
+  Level0Table level0_;
+  std::optional<ClauseId> final_id_;
+  std::unordered_map<ClauseId, std::vector<ClauseId>> derivations_;
+  std::unordered_map<ClauseId, SortedClause> memo_;
+  ChainResolver chain_;
+  util::MemTracker mem_;
+  CheckStats stats_;
+};
+
+}  // namespace
+
+CheckResult check_depth_first(const Formula& f, trace::TraceReader& reader,
+                              const DepthFirstOptions& options) {
+  DepthFirstChecker checker(f, reader);
+  return checker.run(options);
+}
+
+}  // namespace satproof::checker

@@ -1,0 +1,288 @@
+#include "src/checker/hybrid.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace satproof::checker {
+
+namespace {
+
+class HybridChecker {
+ public:
+  HybridChecker(const Formula& f, trace::TraceReader& reader,
+                const HybridOptions& options)
+      : formula_(&f),
+        reader_(&reader),
+        level0_(reader.num_vars()),
+        counts_(make_use_count_store(options.use_counts)) {}
+
+  CheckResult run() {
+    CheckResult result;
+    try {
+      check_header(*formula_, reader_->num_vars(), reader_->num_original());
+      scan_structure();
+      if (!final_id_.has_value()) {
+        throw CheckFailure(
+            "trace has no final conflicting clause; it does not claim "
+            "unsatisfiability");
+      }
+      mark_reachable_and_count();
+      mem_.add(counts_->memory_bytes());
+      mem_.add(level0_.size() * 16);
+      replay_reachable();
+      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+        return fetch_clause(id);
+      };
+      SortedClause remaining =
+          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      if (!remaining.empty()) {
+        validate_assumption_clause(remaining, level0_);
+        result.failed_assumption_clause = std::move(remaining);
+      }
+      result.ok = true;
+    } catch (const CheckFailure& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (const std::runtime_error& e) {
+      result.ok = false;
+      result.error = std::string("trace error: ") + e.what();
+    }
+    stats_.peak_mem_bytes = mem_.peak_bytes();
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] ClauseId num_original() const {
+    return reader_->num_original();
+  }
+
+  [[nodiscard]] std::uint64_t ordinal(ClauseId id) const {
+    return id - num_original();
+  }
+
+  /// Index of a learned clause in the structure arrays, by ID (IDs are
+  /// strictly increasing, so binary search applies).
+  [[nodiscard]] std::size_t index_of(ClauseId id) const {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) return ~std::size_t{0};
+    return static_cast<std::size_t>(it - ids_.begin());
+  }
+
+  /// Pass 1: single streaming read keeping only the DAG structure —
+  /// derivation IDs and source lists, no literals.
+  void scan_structure() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    std::optional<ClauseId> last_id;
+    while (!ended && reader_->next(rec)) {
+      switch (rec.kind) {
+        case trace::RecordKind::Derivation: {
+          if (rec.id < num_original()) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " reuses an original clause ID");
+          }
+          if (last_id.has_value() && rec.id <= *last_id) {
+            throw CheckFailure(
+                "derivation IDs must be strictly increasing (clause " +
+                std::to_string(rec.id) + " after " +
+                std::to_string(*last_id) + ")");
+          }
+          if (rec.sources.size() < 2) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " has fewer than two resolve sources");
+          }
+          for (const ClauseId s : rec.sources) {
+            if (s >= rec.id) {
+              throw CheckFailure(
+                  "derivation " + std::to_string(rec.id) +
+                  " references source " + std::to_string(s) +
+                  " that does not precede it");
+            }
+          }
+          last_id = rec.id;
+          ids_.push_back(rec.id);
+          src_offset_.push_back(src_pool_.size());
+          src_pool_.insert(src_pool_.end(), rec.sources.begin(),
+                           rec.sources.end());
+          ++stats_.total_derivations;
+          break;
+        }
+        case trace::RecordKind::FinalConflict:
+          if (final_id_.has_value()) {
+            throw CheckFailure(
+                "trace has more than one final conflict record");
+          }
+          final_id_ = rec.id;
+          break;
+        case trace::RecordKind::Level0:
+          level0_.add(rec.var, rec.value, rec.antecedent);
+          break;
+        case trace::RecordKind::Assumption:
+          level0_.add_assumption(rec.var, rec.value);
+          break;
+        case trace::RecordKind::End:
+          ended = true;
+          break;
+      }
+    }
+    if (!ended) throw CheckFailure("trace truncated: missing end record");
+    src_offset_.push_back(src_pool_.size());
+    mem_.add(ids_.size() * sizeof(ClauseId) +
+             src_offset_.size() * sizeof(std::size_t) +
+             src_pool_.size() * sizeof(ClauseId));
+  }
+
+  [[nodiscard]] std::span<const ClauseId> sources_of(std::size_t index) const {
+    return {src_pool_.data() + src_offset_[index],
+            src_offset_[index + 1] - src_offset_[index]};
+  }
+
+  /// Backward reachability from the final conflict and the level-0
+  /// antecedents, then use counts restricted to reachable consumers.
+  void mark_reachable_and_count() {
+    reachable_.assign(ids_.size(), false);
+    mem_.add(ids_.size() / 8 + 16);
+
+    const auto seed = [this](ClauseId id, const std::string& what) {
+      if (id < num_original()) return;
+      const std::size_t idx = index_of(id);
+      if (idx == ~std::size_t{0}) {
+        throw CheckFailure(what + " " + std::to_string(id) +
+                           " is never derived in the trace");
+      }
+      reachable_[idx] = true;
+    };
+    seed(*final_id_, "final conflicting clause");
+    for (Var v = 0; v < reader_->num_vars(); ++v) {
+      if (level0_.implied(v)) {
+        seed(level0_.antecedent(v), "level-0 antecedent");
+      }
+    }
+    // Sources precede their consumers, so one backward sweep settles
+    // reachability.
+    for (std::size_t i = ids_.size(); i-- > 0;) {
+      if (!reachable_[i]) continue;
+      for (const ClauseId s : sources_of(i)) {
+        if (s < num_original()) continue;
+        const std::size_t idx = index_of(s);
+        // Guaranteed to exist: IDs are dense in ids_ only if derived; a
+        // missing source is a dangling reference.
+        if (idx == ~std::size_t{0}) {
+          throw CheckFailure("clause " + std::to_string(s) +
+                             " is referenced but never derived in the trace");
+        }
+        reachable_[idx] = true;
+      }
+    }
+
+    const std::uint64_t slots =
+        ids_.empty() ? 0 : ordinal(ids_.back()) + 1;
+    counts_->resize(slots);
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (!reachable_[i]) continue;
+      for (const ClauseId s : sources_of(i)) {
+        if (s >= num_original()) counts_->increment(ordinal(s));
+      }
+    }
+    // Pin what the final derivation needs.
+    if (*final_id_ >= num_original()) counts_->increment(ordinal(*final_id_));
+    for (Var v = 0; v < reader_->num_vars(); ++v) {
+      if (level0_.implied(v) && level0_.antecedent(v) >= num_original()) {
+        counts_->increment(ordinal(level0_.antecedent(v)));
+      }
+    }
+  }
+
+  /// Builds the reachable clauses in generation order, releasing each as
+  /// soon as its reachable uses are exhausted. Streams over the in-memory
+  /// structure — no second trace read is needed.
+  void replay_reachable() {
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (!reachable_[i]) continue;
+      const auto sources = sources_of(i);
+      chain_.start(fetch_clause(sources[0]));
+      for (std::size_t k = 1; k < sources.size(); ++k) {
+        const ResolveResult r = chain_.step(fetch_clause(sources[k]));
+        ++stats_.resolutions;
+        if (r.status != ResolveStatus::Ok) {
+          throw CheckFailure(
+              "derivation of clause " + std::to_string(ids_[i]) +
+              ": resolving with source " + std::to_string(sources[k]) +
+              " (step " + std::to_string(k) + ") failed: " +
+              (r.status == ResolveStatus::NoClash
+                   ? "no clashing variable"
+                   : "more than one clashing variable"));
+        }
+      }
+      ++stats_.clauses_built;
+      for (const ClauseId s : sources) {
+        if (s < num_original()) continue;
+        if (counts_->decrement(ordinal(s)) == 0) release(s);
+      }
+      if (counts_->get(ordinal(ids_[i])) > 0) {
+        SortedClause derived = chain_.take();
+        std::sort(derived.begin(), derived.end());
+        mem_.add(util::clause_footprint_bytes(derived.size()));
+        live_.emplace(ids_[i], std::move(derived));
+      }
+    }
+  }
+
+  const SortedClause& fetch_clause(ClauseId id) {
+    if (id < num_original()) {
+      scratch_ = canonicalize(formula_->clause(id));
+      if (is_tautology(scratch_)) {
+        throw CheckFailure(
+            "original clause " + std::to_string(id) +
+            " is tautological and cannot be a resolution source");
+      }
+      return scratch_;
+    }
+    const auto it = live_.find(id);
+    if (it == live_.end()) {
+      throw CheckFailure(
+          "clause " + std::to_string(id) +
+          " is not available: it was never derived, or its use count was "
+          "exhausted earlier than the trace implies");
+    }
+    return it->second;
+  }
+
+  void release(ClauseId id) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) return;
+    mem_.remove(util::clause_footprint_bytes(it->second.size()));
+    live_.erase(it);
+  }
+
+  const Formula* formula_;
+  trace::TraceReader* reader_;
+  Level0Table level0_;
+  std::unique_ptr<UseCountStore> counts_;
+  std::optional<ClauseId> final_id_;
+
+  // DAG structure (pass 1).
+  std::vector<ClauseId> ids_;
+  std::vector<std::size_t> src_offset_;
+  std::vector<ClauseId> src_pool_;
+  std::vector<bool> reachable_;
+
+  std::unordered_map<ClauseId, SortedClause> live_;
+  SortedClause scratch_;
+  ChainResolver chain_;
+  util::MemTracker mem_;
+  CheckStats stats_;
+};
+
+}  // namespace
+
+CheckResult check_hybrid(const Formula& f, trace::TraceReader& reader,
+                         const HybridOptions& options) {
+  HybridChecker checker(f, reader, options);
+  return checker.run();
+}
+
+}  // namespace satproof::checker

@@ -1,0 +1,158 @@
+#include "src/checker/resolution.hpp"
+
+#include <algorithm>
+
+namespace satproof::checker {
+
+SortedClause canonicalize(std::span<const Lit> lits) {
+  SortedClause out(lits.begin(), lits.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool is_tautology(const SortedClause& clause) {
+  for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i].var() == clause[i + 1].var()) return true;
+  }
+  return false;
+}
+
+ResolveResult resolve(const SortedClause& a, const SortedClause& b,
+                      SortedClause& out) {
+  out.clear();
+  ResolveResult res;
+
+  // First find the clashing variable(s). Literal codes sort by variable
+  // first, so opposite phases of one variable are adjacent across the two
+  // sorted sequences and a single merge pass finds every clash.
+  std::size_t i = 0, j = 0;
+  Var pivot = kInvalidVar;
+  while (i < a.size() && j < b.size()) {
+    const Lit la = a[i], lb = b[j];
+    if (la.var() == lb.var()) {
+      if (la != lb) {
+        if (pivot != kInvalidVar && pivot != la.var()) {
+          res.status = ResolveStatus::MultiClash;
+          return res;
+        }
+        pivot = la.var();
+      }
+      ++i;
+      ++j;
+    } else if (la < lb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (pivot == kInvalidVar) {
+    res.status = ResolveStatus::NoClash;
+    return res;
+  }
+  // Each side must contain the pivot in exactly one phase; a clause holding
+  // both phases is tautological and resolving "through" it would produce a
+  // clause stronger than what is actually implied.
+  for (const SortedClause* side : {&a, &b}) {
+    int count = 0;
+    for (const Lit lit : *side) count += lit.var() == pivot ? 1 : 0;
+    if (count != 1) {
+      res.status = ResolveStatus::MultiClash;
+      return res;
+    }
+  }
+
+  // Merge, dropping both phases of the pivot.
+  out.reserve(a.size() + b.size() - 2);
+  i = 0;
+  j = 0;
+  while (i < a.size() || j < b.size()) {
+    Lit next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      next = a[i++];
+    } else if (i >= a.size() || b[j] < a[i]) {
+      next = b[j++];
+    } else {  // equal literals
+      next = a[i++];
+      ++j;
+    }
+    if (next.var() == pivot) continue;
+    out.push_back(next);
+  }
+  res.status = ResolveStatus::Ok;
+  res.pivot = pivot;
+  return res;
+}
+
+void ChainResolver::grow_to(Lit lit) {
+  if (lit.code() >= stamp_.size()) {
+    stamp_.resize(lit.code() + 1, 0);
+    pos_.resize(lit.code() + 1, 0);
+  }
+}
+
+void ChainResolver::insert(Lit lit) {
+  grow_to(lit);
+  stamp_[lit.code()] = epoch_;
+  pos_[lit.code()] = static_cast<std::uint32_t>(lits_.size());
+  lits_.push_back(lit);
+}
+
+void ChainResolver::erase(Lit lit) {
+  const std::uint32_t i = pos_[lit.code()];
+  const Lit last = lits_.back();
+  lits_[i] = last;
+  pos_[last.code()] = i;
+  lits_.pop_back();
+  stamp_[lit.code()] = 0;
+}
+
+void ChainResolver::start(std::span<const Lit> first) {
+  ++epoch_;
+  lits_.clear();
+  for (const Lit lit : first) insert(lit);
+}
+
+ResolveResult ChainResolver::step(std::span<const Lit> next) {
+  ResolveResult res;
+  // Pass 1: find the clashing variable(s).
+  Var pivot = kInvalidVar;
+  for (const Lit lit : next) {
+    if (present(~lit)) {
+      if (pivot != kInvalidVar && pivot != lit.var()) {
+        res.status = ResolveStatus::MultiClash;
+        return res;
+      }
+      pivot = lit.var();
+    }
+  }
+  if (pivot == kInvalidVar) {
+    res.status = ResolveStatus::NoClash;
+    return res;
+  }
+  // `next` must contain the pivot in exactly one phase (see resolve()).
+  int pivot_count = 0;
+  for (const Lit lit : next) pivot_count += lit.var() == pivot ? 1 : 0;
+  if (pivot_count != 1 ||
+      (present(Lit::pos(pivot)) && present(Lit::neg(pivot)))) {
+    res.status = ResolveStatus::MultiClash;
+    return res;
+  }
+  // Pass 2: merge, dropping both phases of the pivot.
+  erase(present(Lit::pos(pivot)) ? Lit::pos(pivot) : Lit::neg(pivot));
+  for (const Lit lit : next) {
+    if (lit.var() == pivot) continue;
+    if (!present(lit)) insert(lit);
+  }
+  res.status = ResolveStatus::Ok;
+  res.pivot = pivot;
+  return res;
+}
+
+std::vector<Lit> ChainResolver::take() {
+  // Invalidate the stamps so a future start() sees an empty set.
+  ++epoch_;
+  return std::move(lits_);
+}
+
+}  // namespace satproof::checker

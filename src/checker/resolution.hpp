@@ -1,0 +1,102 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/cnf/types.hpp"
+
+namespace satproof::checker {
+
+/// A clause in checker-canonical form: literals sorted by code, duplicates
+/// removed. Canonical form makes resolution a linear merge and makes
+/// clause equality a vector comparison.
+using SortedClause = std::vector<Lit>;
+
+/// Canonicalizes an arbitrary literal sequence.
+[[nodiscard]] SortedClause canonicalize(std::span<const Lit> lits);
+
+/// True when the (sorted) clause contains some variable in both phases.
+/// Tautological clauses are permanently satisfied and must not appear as
+/// resolution sources; the checkers reject traces that reference one.
+[[nodiscard]] bool is_tautology(const SortedClause& clause);
+
+/// Outcome of attempting to resolve two clauses.
+enum class ResolveStatus : std::uint8_t {
+  Ok,          ///< exactly one clashing variable; resolvent produced
+  NoClash,     ///< no variable occurs in both clauses with opposite phases
+  MultiClash,  ///< more than one clashing variable (resolvent tautological)
+};
+
+/// Result of resolve().
+struct ResolveResult {
+  ResolveStatus status = ResolveStatus::NoClash;
+  Var pivot = kInvalidVar;  ///< the clashing variable when status == Ok
+};
+
+/// Resolves two canonical clauses.
+///
+/// This is the checker's trusted kernel. Following Section 2.1 of the
+/// paper, two clauses may be resolved only when *exactly one* variable
+/// appears in both with different phases; the resolvent is the disjunction
+/// of the remaining literals. Zero clashing variables means the trace asked
+/// for a resolution that is not one; two or more means the resolvent would
+/// be tautological and the inference chain is broken. Both are reported
+/// rather than silently accepted — the checker must not be as trusting as
+/// the solver it validates.
+///
+/// `out` receives the canonical resolvent when the status is Ok; otherwise
+/// it is left empty. `a`, `b` and `out` must be distinct objects.
+ResolveResult resolve(const SortedClause& a, const SortedClause& b,
+                      SortedClause& out);
+
+/// Incremental resolution over a chain of clauses.
+///
+/// Replaying a derivation left-folds resolution over its sources; doing
+/// that with sorted merges costs O(steps * clause length), which on
+/// circuit-style instances with long learned clauses makes the checker as
+/// slow as the solver — the opposite of the paper's measurement that
+/// checking is always much cheaper than solving. ChainResolver keeps the
+/// running clause as a literal set with per-literal presence stamps (the
+/// same trick conflict analysis uses inside the solver), so each step costs
+/// O(|next source|) and a whole derivation costs O(total source length).
+///
+/// The validity checks are identical to resolve(): each step must clash on
+/// exactly one variable.
+///
+/// One ChainResolver should be reused across derivations; its stamp arrays
+/// grow to 2 * num_vars once and are epoch-invalidated, not cleared.
+class ChainResolver {
+ public:
+  /// Begins a chain with `first` as the running clause. `first` must be
+  /// duplicate-free (canonical clauses are).
+  void start(std::span<const Lit> first);
+
+  /// Resolves the running clause with `next`. On MultiClash/NoClash the
+  /// running clause is left unspecified and the chain must be restarted.
+  ResolveResult step(std::span<const Lit> next);
+
+  /// Current literals of the running clause, in unspecified order,
+  /// duplicate-free. Valid until the next start()/step().
+  [[nodiscard]] std::span<const Lit> lits() const {
+    return {lits_.data(), lits_.size()};
+  }
+
+  /// Moves the running clause out (unsorted, duplicate-free).
+  [[nodiscard]] std::vector<Lit> take();
+
+ private:
+  [[nodiscard]] bool present(Lit lit) const {
+    const std::uint32_t c = lit.code();
+    return c < stamp_.size() && stamp_[c] == epoch_;
+  }
+  void insert(Lit lit);
+  void erase(Lit lit);
+  void grow_to(Lit lit);
+
+  std::vector<Lit> lits_;
+  std::vector<std::uint64_t> stamp_;  // per literal code: epoch when present
+  std::vector<std::uint32_t> pos_;    // per literal code: index in lits_
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace satproof::checker

@@ -1,0 +1,26 @@
+#include "src/circuit/miter.hpp"
+
+#include <stdexcept>
+
+#include "src/circuit/tseitin.hpp"
+
+namespace satproof::circuit {
+
+Wire build_miter(Netlist& n, std::span<const Wire> outs_a,
+                 std::span<const Wire> outs_b) {
+  if (outs_a.size() != outs_b.size()) {
+    throw std::invalid_argument("build_miter: output width mismatch");
+  }
+  std::vector<Wire> diffs(outs_a.size());
+  for (std::size_t i = 0; i < outs_a.size(); ++i) {
+    diffs[i] = n.make_xor(outs_a[i], outs_b[i]);
+  }
+  return n.reduce_or(diffs);
+}
+
+Formula miter_to_cnf(const Netlist& n, Wire miter_out) {
+  const Wire asserted[] = {miter_out};
+  return tseitin(n, asserted).formula;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+#include "src/circuit/netlist.hpp"
+#include "src/circuit/words.hpp"
+#include "src/cnf/formula.hpp"
+
+namespace satproof::circuit {
+
+/// Builds a miter over two output vectors inside one netlist: a wire that
+/// is true iff the vectors differ on at least one bit. Both implementations
+/// must share the same primary inputs (build them into the same Netlist).
+[[nodiscard]] Wire build_miter(Netlist& n, std::span<const Wire> outs_a,
+                               std::span<const Wire> outs_b);
+
+/// Convenience: Tseitin-encodes the netlist with the miter wire asserted
+/// true. The resulting CNF is unsatisfiable iff the two implementations are
+/// functionally equivalent — the combinational equivalence checking flow of
+/// the paper's Table 1 (c5315 / c7225 rows).
+[[nodiscard]] Formula miter_to_cnf(const Netlist& n, Wire miter_out);
+
+}  // namespace satproof::circuit

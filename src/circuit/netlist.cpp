@@ -1,0 +1,149 @@
+#include "src/circuit/netlist.hpp"
+
+#include <stdexcept>
+
+namespace satproof::circuit {
+
+Wire Netlist::add_gate(GateKind kind, Wire a, Wire b, Wire c) {
+  const Wire w = static_cast<Wire>(gates_.size());
+  for (const Wire fanin : {a, b, c}) {
+    if (fanin != kInvalidWire && fanin >= w) {
+      throw std::invalid_argument("Netlist: gate fanin must already exist");
+    }
+  }
+  gates_.push_back({kind, a, b, c});
+  return w;
+}
+
+Wire Netlist::add_input() {
+  const Wire w = add_gate(GateKind::Input);
+  inputs_.push_back(w);
+  return w;
+}
+
+Wire Netlist::constant(bool value) {
+  Wire& cached = value ? const_true_ : const_false_;
+  if (cached == kInvalidWire) {
+    cached = add_gate(value ? GateKind::ConstTrue : GateKind::ConstFalse);
+  }
+  return cached;
+}
+
+Wire Netlist::make_not(Wire a) { return add_gate(GateKind::Not, a); }
+Wire Netlist::make_and(Wire a, Wire b) { return add_gate(GateKind::And, a, b); }
+Wire Netlist::make_or(Wire a, Wire b) { return add_gate(GateKind::Or, a, b); }
+Wire Netlist::make_xor(Wire a, Wire b) { return add_gate(GateKind::Xor, a, b); }
+
+Wire Netlist::make_mux(Wire sel, Wire if_true, Wire if_false) {
+  return add_gate(GateKind::Mux, sel, if_true, if_false);
+}
+
+Wire Netlist::reduce_and(std::span<const Wire> wires) {
+  if (wires.empty()) return constant(true);
+  // Balanced reduction keeps the tree depth logarithmic.
+  std::vector<Wire> level(wires.begin(), wires.end());
+  while (level.size() > 1) {
+    std::vector<Wire> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(make_and(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  return level[0];
+}
+
+Wire Netlist::reduce_or(std::span<const Wire> wires) {
+  if (wires.empty()) return constant(false);
+  std::vector<Wire> level(wires.begin(), wires.end());
+  while (level.size() > 1) {
+    std::vector<Wire> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(make_or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  return level[0];
+}
+
+std::vector<Wire> copy_into(Netlist& dst, const Netlist& src,
+                            const std::vector<Wire>& input_map) {
+  std::vector<Wire> map(src.num_wires(), kInvalidWire);
+  for (Wire w = 0; w < src.num_wires(); ++w) {
+    const Gate& g = src.gate(w);
+    switch (g.kind) {
+      case GateKind::Input:
+        if (w >= input_map.size() || input_map[w] == kInvalidWire) {
+          throw std::invalid_argument("copy_into: unmapped primary input");
+        }
+        map[w] = input_map[w];
+        break;
+      case GateKind::ConstFalse:
+        map[w] = dst.constant(false);
+        break;
+      case GateKind::ConstTrue:
+        map[w] = dst.constant(true);
+        break;
+      case GateKind::Not:
+        map[w] = dst.make_not(map[g.a]);
+        break;
+      case GateKind::And:
+        map[w] = dst.make_and(map[g.a], map[g.b]);
+        break;
+      case GateKind::Or:
+        map[w] = dst.make_or(map[g.a], map[g.b]);
+        break;
+      case GateKind::Xor:
+        map[w] = dst.make_xor(map[g.a], map[g.b]);
+        break;
+      case GateKind::Mux:
+        map[w] = dst.make_mux(map[g.a], map[g.b], map[g.c]);
+        break;
+    }
+  }
+  return map;
+}
+
+std::vector<bool> Netlist::simulate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("Netlist::simulate: input count mismatch");
+  }
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t next_input = 0;
+  for (Wire w = 0; w < gates_.size(); ++w) {
+    const Gate& g = gates_[w];
+    switch (g.kind) {
+      case GateKind::ConstFalse:
+        value[w] = false;
+        break;
+      case GateKind::ConstTrue:
+        value[w] = true;
+        break;
+      case GateKind::Input:
+        value[w] = input_values[next_input++];
+        break;
+      case GateKind::Not:
+        value[w] = !value[g.a];
+        break;
+      case GateKind::And:
+        value[w] = value[g.a] && value[g.b];
+        break;
+      case GateKind::Or:
+        value[w] = value[g.a] || value[g.b];
+        break;
+      case GateKind::Xor:
+        value[w] = value[g.a] != value[g.b];
+        break;
+      case GateKind::Mux:
+        value[w] = value[g.a] ? value[g.b] : value[g.c];
+        break;
+    }
+  }
+  return value;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/cnf/types.hpp"
+
+namespace satproof::circuit {
+
+/// Index of a signal in a Netlist. Wires are created in topological order:
+/// a gate only references wires created before it.
+using Wire = std::uint32_t;
+inline constexpr Wire kInvalidWire = std::numeric_limits<Wire>::max();
+
+/// Gate types. Two-input gates use fanins a and b; Not uses a; Mux computes
+/// `a ? b : c`.
+enum class GateKind : std::uint8_t {
+  ConstFalse,
+  ConstTrue,
+  Input,
+  Not,
+  And,
+  Or,
+  Xor,
+  Mux,
+};
+
+/// One gate; unused fanins are kInvalidWire.
+struct Gate {
+  GateKind kind = GateKind::Input;
+  Wire a = kInvalidWire;
+  Wire b = kInvalidWire;
+  Wire c = kInvalidWire;
+};
+
+class Netlist;
+
+/// Copies every gate of `src` into `dst`, substituting each primary input
+/// of `src` by the pre-existing `dst` wire given in `input_map` (indexed by
+/// src wire; non-input entries are ignored). Returns the full src-to-dst
+/// wire map. The workhorse behind BMC unrolling (one copy per time frame)
+/// and combined miters of independently built circuits.
+[[nodiscard]] std::vector<Wire> copy_into(Netlist& dst, const Netlist& src,
+                                          const std::vector<Wire>& input_map);
+
+/// A combinational gate-level netlist.
+///
+/// This is the substrate for the equivalence-checking and microprocessor-
+/// style benchmark families of the paper's Table 1 (c5315/c7225 miters,
+/// longmult-style multipliers): circuits are built structurally, converted
+/// to CNF by the Tseitin transform (tseitin.hpp), and compared with miters
+/// (miter.hpp). Netlists can also be simulated directly, which the tests
+/// use to cross-validate the CNF encoding against ground truth.
+class Netlist {
+ public:
+  /// Creates a primary input.
+  Wire add_input();
+
+  /// Returns the shared constant wire for `value` (created on first use).
+  Wire constant(bool value);
+
+  Wire make_not(Wire a);
+  Wire make_and(Wire a, Wire b);
+  Wire make_or(Wire a, Wire b);
+  Wire make_xor(Wire a, Wire b);
+  /// out = sel ? if_true : if_false
+  Wire make_mux(Wire sel, Wire if_true, Wire if_false);
+
+  // Derived conveniences.
+  Wire make_nand(Wire a, Wire b) { return make_not(make_and(a, b)); }
+  Wire make_nor(Wire a, Wire b) { return make_not(make_or(a, b)); }
+  Wire make_xnor(Wire a, Wire b) { return make_not(make_xor(a, b)); }
+  Wire make_implies(Wire a, Wire b) { return make_or(make_not(a), b); }
+
+  /// AND / OR over an arbitrary fan-in (balanced tree). Empty input yields
+  /// the neutral constant.
+  Wire reduce_and(std::span<const Wire> wires);
+  Wire reduce_or(std::span<const Wire> wires);
+
+  /// Number of wires (== number of gates, inputs and constants included).
+  [[nodiscard]] std::size_t num_wires() const { return gates_.size(); }
+
+  /// Number of primary inputs.
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+
+  /// The primary inputs in creation order.
+  [[nodiscard]] const std::vector<Wire>& inputs() const { return inputs_; }
+
+  /// Gate descriptor of `w`.
+  [[nodiscard]] const Gate& gate(Wire w) const { return gates_[w]; }
+
+  /// Evaluates the whole netlist under the given input values (one value
+  /// per primary input, in creation order). Returns one value per wire.
+  [[nodiscard]] std::vector<bool> simulate(
+      const std::vector<bool>& input_values) const;
+
+ private:
+  Wire add_gate(GateKind kind, Wire a = kInvalidWire, Wire b = kInvalidWire,
+                Wire c = kInvalidWire);
+
+  std::vector<Gate> gates_;
+  std::vector<Wire> inputs_;
+  Wire const_false_ = kInvalidWire;
+  Wire const_true_ = kInvalidWire;
+};
+
+}  // namespace satproof::circuit

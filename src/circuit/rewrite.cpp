@@ -1,0 +1,112 @@
+#include "src/circuit/rewrite.hpp"
+
+#include "src/circuit/miter.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof::circuit {
+
+RewriteResult rewrite(const Netlist& n, const RewriteOptions& options) {
+  util::Rng rng(options.seed);
+  RewriteResult out;
+  Netlist& d = out.netlist;
+  out.wire_map.assign(n.num_wires(), kInvalidWire);
+
+  const auto maybe_double_negate = [&](Wire w) {
+    if (rng.next_bool(options.double_negation_freq)) {
+      return d.make_not(d.make_not(w));
+    }
+    return w;
+  };
+
+  for (Wire w = 0; w < n.num_wires(); ++w) {
+    const Gate& g = n.gate(w);
+    const auto m = [&](Wire x) { return out.wire_map[x]; };
+    Wire nw = kInvalidWire;
+    switch (g.kind) {
+      case GateKind::Input:
+        nw = d.add_input();
+        break;
+      case GateKind::ConstFalse:
+        nw = d.constant(false);
+        break;
+      case GateKind::ConstTrue:
+        nw = d.constant(true);
+        break;
+      case GateKind::Not:
+        nw = d.make_not(m(g.a));
+        break;
+      case GateKind::And:
+        if (options.demorgan && rng.next_bool(options.rewrite_freq)) {
+          // a & b == ~(~a | ~b)
+          nw = d.make_not(d.make_or(d.make_not(m(g.a)), d.make_not(m(g.b))));
+        } else {
+          nw = d.make_and(m(g.a), m(g.b));
+        }
+        break;
+      case GateKind::Or:
+        if (options.demorgan && rng.next_bool(options.rewrite_freq)) {
+          // a | b == ~(~a & ~b)
+          nw = d.make_not(d.make_and(d.make_not(m(g.a)), d.make_not(m(g.b))));
+        } else {
+          nw = d.make_or(m(g.a), m(g.b));
+        }
+        break;
+      case GateKind::Xor:
+        if (options.xor_decompose && rng.next_bool(options.rewrite_freq)) {
+          // a ^ b == (a & ~b) | (~a & b)
+          nw = d.make_or(d.make_and(m(g.a), d.make_not(m(g.b))),
+                         d.make_and(d.make_not(m(g.a)), m(g.b)));
+        } else {
+          nw = d.make_xor(m(g.a), m(g.b));
+        }
+        break;
+      case GateKind::Mux:
+        if (options.mux_decompose && rng.next_bool(options.rewrite_freq)) {
+          // s ? t : e == (s & t) | (~s & e)
+          nw = d.make_or(d.make_and(m(g.a), m(g.b)),
+                         d.make_and(d.make_not(m(g.a)), m(g.c)));
+        } else {
+          nw = d.make_mux(m(g.a), m(g.b), m(g.c));
+        }
+        break;
+    }
+    if (g.kind != GateKind::Input && g.kind != GateKind::ConstFalse &&
+        g.kind != GateKind::ConstTrue) {
+      nw = maybe_double_negate(nw);
+    }
+    out.wire_map[w] = nw;
+  }
+  return out;
+}
+
+RewrittenMiter rewrite_miter(const Netlist& n, const std::vector<Wire>& outputs,
+                             const RewriteOptions& options) {
+  const RewriteResult rw = rewrite(n, options);
+
+  RewrittenMiter out;
+  Netlist& d = out.netlist;
+  // Shared inputs.
+  std::vector<Wire> shared_inputs(n.num_wires(), kInvalidWire);
+  for (const Wire w : n.inputs()) shared_inputs[w] = d.add_input();
+  // Instance 1: the original.
+  const std::vector<Wire> map1 = copy_into(d, n, shared_inputs);
+  // Instance 2: the rewrite, with its inputs bound to the same wires. The
+  // rewrite preserves input order, so map its input list positionally.
+  std::vector<Wire> rewrite_inputs(rw.netlist.num_wires(), kInvalidWire);
+  for (std::size_t i = 0; i < n.inputs().size(); ++i) {
+    rewrite_inputs[rw.netlist.inputs()[i]] = shared_inputs[n.inputs()[i]];
+  }
+  const std::vector<Wire> map2 = copy_into(d, rw.netlist, rewrite_inputs);
+
+  std::vector<Wire> outs_a, outs_b;
+  outs_a.reserve(outputs.size());
+  outs_b.reserve(outputs.size());
+  for (const Wire w : outputs) {
+    outs_a.push_back(map1[w]);
+    outs_b.push_back(map2[rw.wire_map[w]]);
+  }
+  out.miter_out = build_miter(d, outs_a, outs_b);
+  return out;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/circuit/netlist.hpp"
+
+namespace satproof::circuit {
+
+/// Knobs for the structural rewriter.
+struct RewriteOptions {
+  /// Rewrite AND/OR gates through De Morgan's laws (probabilistically).
+  bool demorgan = true;
+  /// Decompose XOR gates into AND/OR/NOT.
+  bool xor_decompose = true;
+  /// Decompose MUX gates into AND/OR/NOT.
+  bool mux_decompose = true;
+  /// Probability of applying a probabilistic rewrite at each gate.
+  double rewrite_freq = 0.5;
+  /// Probability of inserting a double negation after a gate.
+  double double_negation_freq = 0.15;
+  /// PRNG seed; the rewrite is deterministic in it.
+  std::uint64_t seed = 1;
+};
+
+/// Result of rewrite(): the new netlist plus the old-to-new wire map.
+struct RewriteResult {
+  Netlist netlist;
+  /// wire_map[old_wire] is the corresponding wire of the rewritten
+  /// netlist (inputs map to inputs, in the same order).
+  std::vector<Wire> wire_map;
+};
+
+/// Rewrites a netlist into a functionally equivalent but structurally
+/// different one — the logic-synthesis workflow whose correctness question
+/// ("did optimization change the function?") is what combinational
+/// equivalence checking answers. Local identities only (De Morgan, XOR /
+/// MUX decomposition, double negation), each exhaustively verified by the
+/// tests, so a miter of a circuit against its rewrite is UNSAT by
+/// construction: a generator for equivalence-checking instances with a
+/// tunable structural distance.
+[[nodiscard]] RewriteResult rewrite(const Netlist& n,
+                                    const RewriteOptions& options = {});
+
+/// Convenience for equivalence instances: builds one netlist containing
+/// `n` and its rewrite over shared inputs, mitered over the given output
+/// wires of `n`. The returned wire is true iff the two versions disagree —
+/// unsatisfiable when asserted, by construction.
+struct RewrittenMiter {
+  Netlist netlist;
+  Wire miter_out = kInvalidWire;
+};
+[[nodiscard]] RewrittenMiter rewrite_miter(const Netlist& n,
+                                           const std::vector<Wire>& outputs,
+                                           const RewriteOptions& options = {});
+
+}  // namespace satproof::circuit

@@ -1,0 +1,66 @@
+#include "src/circuit/sorting.hpp"
+
+#include <stdexcept>
+
+namespace satproof::circuit {
+
+namespace {
+
+/// Compare-exchange: position i receives the larger bit, position j the
+/// smaller (descending order).
+void compare_exchange(Netlist& n, Word& w, std::size_t i, std::size_t j) {
+  const Wire hi = n.make_or(w[i], w[j]);
+  const Wire lo = n.make_and(w[i], w[j]);
+  w[i] = hi;
+  w[j] = lo;
+}
+
+/// Batcher's odd-even merge of two sorted halves w[lo..lo+len) (classic
+/// power-of-two formulation; `step` is the stride between elements).
+void odd_even_merge(Netlist& n, Word& w, std::size_t lo, std::size_t len,
+                    std::size_t step) {
+  const std::size_t m = step * 2;
+  if (m < len) {
+    odd_even_merge(n, w, lo, len, m);         // even subsequence
+    odd_even_merge(n, w, lo + step, len, m);  // odd subsequence
+    for (std::size_t i = lo + step; i + step < lo + len; i += m) {
+      compare_exchange(n, w, i, i + step);
+    }
+  } else {
+    compare_exchange(n, w, lo, lo + step);
+  }
+}
+
+void odd_even_mergesort_range(Netlist& n, Word& w, std::size_t lo,
+                              std::size_t len) {
+  if (len <= 1) return;
+  const std::size_t half = len / 2;
+  odd_even_mergesort_range(n, w, lo, half);
+  odd_even_mergesort_range(n, w, lo + half, half);
+  odd_even_merge(n, w, lo, len, 1);
+}
+
+}  // namespace
+
+Word odd_even_mergesort(Netlist& n, const Word& in) {
+  const std::size_t len = in.size();
+  if (len == 0 || (len & (len - 1)) != 0) {
+    throw std::invalid_argument(
+        "odd_even_mergesort: width must be a power of two");
+  }
+  Word w = in;
+  odd_even_mergesort_range(n, w, 0, len);
+  return w;
+}
+
+Word transposition_sort(Netlist& n, const Word& in) {
+  Word w = in;
+  for (std::size_t round = 0; round < w.size(); ++round) {
+    for (std::size_t i = round % 2; i + 1 < w.size(); i += 2) {
+      compare_exchange(n, w, i, i + 1);
+    }
+  }
+  return w;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "src/circuit/words.hpp"
+
+namespace satproof::circuit {
+
+/// Sorting networks over single-bit signals. A comparator on bits is just
+/// (max, min) = (OR, AND), and by the 0-1 principle a comparator network
+/// that sorts every bit vector sorts everything — which the tests verify
+/// exhaustively.
+///
+/// The two constructions are the classic structurally-distant pair:
+/// Batcher's odd-even mergesort uses O(n log^2 n) comparators in a
+/// recursive merge pattern, odd-even transposition sort uses n rounds of
+/// neighbour exchanges (O(n^2)). Miters of the two are equivalence
+/// instances with no arithmetic structure at all, complementing the
+/// adder/multiplier families.
+
+/// Sorts `in` descending (out[0] is the OR-max) with Batcher's odd-even
+/// mergesort. The width must be a power of two.
+[[nodiscard]] Word odd_even_mergesort(Netlist& n, const Word& in);
+
+/// Sorts `in` descending with odd-even transposition (bubble) rounds.
+/// Any width.
+[[nodiscard]] Word transposition_sort(Netlist& n, const Word& in);
+
+}  // namespace satproof::circuit

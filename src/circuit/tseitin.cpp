@@ -1,0 +1,96 @@
+#include "src/circuit/tseitin.hpp"
+
+#include <stdexcept>
+
+namespace satproof::circuit {
+
+namespace {
+
+/// Emits the defining clauses of gate `w` of `n` into `f`, under the
+/// wire-to-variable map `var_of`.
+void encode_gate(Formula& f, const Netlist& n, Wire w,
+                 const std::vector<Var>& var_of) {
+  const auto pos = [&](Wire x) { return Lit::pos(var_of[x]); };
+  const auto neg = [&](Wire x) { return Lit::neg(var_of[x]); };
+  const Gate& g = n.gate(w);
+  switch (g.kind) {
+    case GateKind::Input:
+      break;
+    case GateKind::ConstFalse:
+      f.add_clause({neg(w)});
+      break;
+    case GateKind::ConstTrue:
+      f.add_clause({pos(w)});
+      break;
+    case GateKind::Not:
+      f.add_clause({pos(w), pos(g.a)});
+      f.add_clause({neg(w), neg(g.a)});
+      break;
+    case GateKind::And:
+      f.add_clause({neg(w), pos(g.a)});
+      f.add_clause({neg(w), pos(g.b)});
+      f.add_clause({pos(w), neg(g.a), neg(g.b)});
+      break;
+    case GateKind::Or:
+      f.add_clause({pos(w), neg(g.a)});
+      f.add_clause({pos(w), neg(g.b)});
+      f.add_clause({neg(w), pos(g.a), pos(g.b)});
+      break;
+    case GateKind::Xor:
+      f.add_clause({neg(w), pos(g.a), pos(g.b)});
+      f.add_clause({neg(w), neg(g.a), neg(g.b)});
+      f.add_clause({pos(w), neg(g.a), pos(g.b)});
+      f.add_clause({pos(w), pos(g.a), neg(g.b)});
+      break;
+    case GateKind::Mux:
+      f.add_clause({neg(g.a), neg(g.b), pos(w)});
+      f.add_clause({neg(g.a), pos(g.b), neg(w)});
+      f.add_clause({pos(g.a), neg(g.c), pos(w)});
+      f.add_clause({pos(g.a), pos(g.c), neg(w)});
+      break;
+  }
+}
+
+}  // namespace
+
+TseitinResult tseitin(const Netlist& n, std::span<const Wire> asserted_true) {
+  TseitinResult out;
+  out.wire_var.resize(n.num_wires());
+  for (Wire w = 0; w < n.num_wires(); ++w) {
+    out.wire_var[w] = static_cast<Var>(w);
+  }
+  Formula& f = out.formula;
+  f.ensure_var(n.num_wires() == 0 ? 0 : static_cast<Var>(n.num_wires() - 1));
+
+  for (Wire w = 0; w < n.num_wires(); ++w) {
+    encode_gate(f, n, w, out.wire_var);
+  }
+  for (const Wire w : asserted_true) {
+    f.add_clause({Lit::pos(out.wire_var[w])});
+  }
+  return out;
+}
+
+std::vector<Var> tseitin_into(Formula& f, const Netlist& n,
+                              std::span<const std::pair<Wire, Var>> bindings) {
+  std::vector<Var> var_of(n.num_wires(), kInvalidVar);
+  for (const auto& [wire, var] : bindings) {
+    if (n.gate(wire).kind != GateKind::Input) {
+      throw std::invalid_argument(
+          "tseitin_into: only primary inputs can be bound");
+    }
+    f.ensure_var(var);
+    var_of[wire] = var;
+  }
+  Var next = f.num_vars();
+  for (Wire w = 0; w < n.num_wires(); ++w) {
+    if (var_of[w] == kInvalidVar) var_of[w] = next++;
+  }
+  if (next > 0) f.ensure_var(next - 1);
+  for (Wire w = 0; w < n.num_wires(); ++w) {
+    encode_gate(f, n, w, var_of);
+  }
+  return var_of;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+#include "src/cnf/formula.hpp"
+
+namespace satproof::circuit {
+
+/// Output of the Tseitin transform.
+struct TseitinResult {
+  Formula formula;
+  /// wire_var[w] is the CNF variable standing for wire w.
+  std::vector<Var> wire_var;
+};
+
+/// Converts a netlist to CNF by the Tseitin transform: one variable per
+/// wire, defining clauses per gate, and a unit clause asserting each wire
+/// in `asserted_true` (typically a miter output). The encoding is
+/// equisatisfiable and, restricted to input variables, equivalent — the
+/// tests cross-check it against Netlist::simulate.
+[[nodiscard]] TseitinResult tseitin(const Netlist& n,
+                                    std::span<const Wire> asserted_true);
+
+/// Encodes `n` *into an existing formula*: every wire gets a fresh
+/// variable starting at f.num_vars(), except the wires in `bindings`,
+/// which map directly onto the given pre-existing variables (they must be
+/// primary inputs — inputs have no defining clauses, so mapping is free).
+/// Used to conjoin a circuit (e.g. an interpolant) with CNF constraints
+/// over shared variables. Returns the wire-to-variable map; the caller
+/// asserts output polarities with unit clauses as needed.
+[[nodiscard]] std::vector<Var> tseitin_into(
+    Formula& f, const Netlist& n,
+    std::span<const std::pair<Wire, Var>> bindings);
+
+}  // namespace satproof::circuit

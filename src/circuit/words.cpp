@@ -1,0 +1,197 @@
+#include "src/circuit/words.hpp"
+
+#include <stdexcept>
+
+namespace satproof::circuit {
+
+Word input_word(Netlist& n, std::size_t width) {
+  Word w(width);
+  for (auto& wire : w) wire = n.add_input();
+  return w;
+}
+
+Word constant_word(Netlist& n, std::uint64_t value, std::size_t width) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    w[i] = n.constant(((value >> i) & 1) != 0);
+  }
+  return w;
+}
+
+namespace {
+
+/// One full adder: sum = a ^ b ^ cin, cout = majority(a, b, cin).
+struct FullAdd {
+  Wire sum;
+  Wire cout;
+};
+
+FullAdd full_adder(Netlist& n, Wire a, Wire b, Wire cin) {
+  const Wire axb = n.make_xor(a, b);
+  const Wire sum = n.make_xor(axb, cin);
+  const Wire cout = n.make_or(n.make_and(a, b), n.make_and(axb, cin));
+  return {sum, cout};
+}
+
+}  // namespace
+
+AdderResult ripple_carry_adder(Netlist& n, const Word& a, const Word& b,
+                               Wire carry_in) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("ripple_carry_adder: width mismatch");
+  }
+  AdderResult out;
+  out.sum.resize(a.size());
+  Wire carry = carry_in == kInvalidWire ? n.constant(false) : carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdd fa = full_adder(n, a[i], b[i], carry);
+    out.sum[i] = fa.sum;
+    carry = fa.cout;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderResult carry_select_adder(Netlist& n, const Word& a, const Word& b,
+                               std::size_t block_width) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("carry_select_adder: width mismatch");
+  }
+  if (block_width == 0) {
+    throw std::invalid_argument("carry_select_adder: zero block width");
+  }
+  AdderResult out;
+  out.sum.resize(a.size());
+  Wire carry = n.constant(false);
+  for (std::size_t lo = 0; lo < a.size(); lo += block_width) {
+    const std::size_t hi = std::min(lo + block_width, a.size());
+    const Word block_a(a.begin() + static_cast<std::ptrdiff_t>(lo),
+                       a.begin() + static_cast<std::ptrdiff_t>(hi));
+    const Word block_b(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                       b.begin() + static_cast<std::ptrdiff_t>(hi));
+    // Compute the block twice, once per assumed carry-in, and select.
+    const AdderResult with0 =
+        ripple_carry_adder(n, block_a, block_b, n.constant(false));
+    const AdderResult with1 =
+        ripple_carry_adder(n, block_a, block_b, n.constant(true));
+    for (std::size_t i = 0; i < block_a.size(); ++i) {
+      out.sum[lo + i] = n.make_mux(carry, with1.sum[i], with0.sum[i]);
+    }
+    carry = n.make_mux(carry, with1.carry_out, with0.carry_out);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderResult kogge_stone_adder(Netlist& n, const Word& a, const Word& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("kogge_stone_adder: width mismatch");
+  }
+  const std::size_t width = a.size();
+  AdderResult out;
+  out.sum.resize(width);
+  if (width == 0) {
+    out.carry_out = n.constant(false);
+    return out;
+  }
+
+  // Per-bit generate/propagate.
+  std::vector<Wire> g(width), p(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    g[i] = n.make_and(a[i], b[i]);
+    p[i] = n.make_xor(a[i], b[i]);
+  }
+
+  // Parallel-prefix combination: after the stage with span s, (g[i], p[i])
+  // describes the window [i-2s+1, i].
+  std::vector<Wire> gg = g, pp = p;
+  for (std::size_t span = 1; span < width; span *= 2) {
+    std::vector<Wire> g2 = gg, p2 = pp;
+    for (std::size_t i = span; i < width; ++i) {
+      // (g, p) o (g', p') = (g | (p & g'), p & p')
+      g2[i] = n.make_or(gg[i], n.make_and(pp[i], gg[i - span]));
+      p2[i] = n.make_and(pp[i], pp[i - span]);
+    }
+    gg = std::move(g2);
+    pp = std::move(p2);
+  }
+
+  // Carry into bit i is the group generate of [0, i-1]; carry-in is zero.
+  out.sum[0] = p[0];
+  for (std::size_t i = 1; i < width; ++i) {
+    out.sum[i] = n.make_xor(p[i], gg[i - 1]);
+  }
+  out.carry_out = gg[width - 1];
+  return out;
+}
+
+Word array_multiplier(Netlist& n, const Word& a, const Word& b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  // Accumulate shifted partial products a * b[j] with ripple adders.
+  Word acc = constant_word(n, 0, wa + wb);
+  for (std::size_t j = 0; j < wb; ++j) {
+    Word partial = constant_word(n, 0, wa + wb);
+    for (std::size_t i = 0; i < wa; ++i) {
+      partial[i + j] = n.make_and(a[i], b[j]);
+    }
+    acc = ripple_carry_adder(n, acc, partial).sum;
+  }
+  return acc;
+}
+
+Word multiplier_commuted(Netlist& n, const Word& a, const Word& b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  // b * a instead of a * b, accumulated with carry-select adders: same
+  // function, different gate structure.
+  Word acc = constant_word(n, 0, wa + wb);
+  for (std::size_t i = 0; i < wa; ++i) {
+    Word partial = constant_word(n, 0, wa + wb);
+    for (std::size_t j = 0; j < wb; ++j) {
+      partial[i + j] = n.make_and(b[j], a[i]);
+    }
+    acc = carry_select_adder(n, acc, partial, 3).sum;
+  }
+  return acc;
+}
+
+Word barrel_rotate_left(Netlist& n, const Word& value, const Word& amount) {
+  Word current = value;
+  const std::size_t width = value.size();
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const std::size_t shift = std::size_t{1} << stage;
+    if (shift % width == 0) break;  // further stages are identities
+    Word rotated(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      rotated[i] = current[(i + width - (shift % width)) % width];
+    }
+    Word next(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      next[i] = n.make_mux(amount[stage], rotated[i], current[i]);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Wire word_equal(Netlist& n, const Word& a, const Word& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("word_equal: width mismatch");
+  }
+  std::vector<Wire> bits(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits[i] = n.make_xnor(a[i], b[i]);
+  }
+  return n.reduce_and(bits);
+}
+
+Word incrementer(Netlist& n, const Word& a) {
+  Word out(a.size());
+  Wire carry = n.constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = n.make_xor(a[i], carry);
+    carry = n.make_and(a[i], carry);
+  }
+  return out;
+}
+
+}  // namespace satproof::circuit

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/circuit/netlist.hpp"
+
+namespace satproof::circuit {
+
+/// A machine word as a little-endian wire vector (word[0] = LSB).
+using Word = std::vector<Wire>;
+
+/// Creates `width` fresh primary inputs.
+[[nodiscard]] Word input_word(Netlist& n, std::size_t width);
+
+/// The constant `value`, `width` bits wide.
+[[nodiscard]] Word constant_word(Netlist& n, std::uint64_t value,
+                                 std::size_t width);
+
+/// Sum word plus carry-out of a full adder chain.
+struct AdderResult {
+  Word sum;
+  Wire carry_out;
+};
+
+/// Ripple-carry adder: the textbook full-adder chain. Operands must have
+/// equal width.
+[[nodiscard]] AdderResult ripple_carry_adder(Netlist& n, const Word& a,
+                                             const Word& b,
+                                             Wire carry_in = kInvalidWire);
+
+/// Carry-select adder: blocks of `block_width` bits computed twice (carry 0
+/// and carry 1) with the real carry selecting via muxes. Functionally
+/// equal to ripple_carry_adder but structurally very different — the
+/// classic equivalence-checking miter pair.
+[[nodiscard]] AdderResult carry_select_adder(Netlist& n, const Word& a,
+                                             const Word& b,
+                                             std::size_t block_width = 4);
+
+/// Kogge-Stone adder: logarithmic-depth parallel-prefix carry network
+/// (generate/propagate pairs combined in log2(width) stages). The third
+/// structurally distinct adder — prefix networks produce miters with very
+/// different proof shapes than the linear carry chains.
+[[nodiscard]] AdderResult kogge_stone_adder(Netlist& n, const Word& a,
+                                            const Word& b);
+
+/// Array (shift-and-add) multiplier: partial products accumulated with
+/// ripple adders. Result has width a.size() + b.size(). XOR-rich — the
+/// analog of the paper's longmult family, whose XOR structure forces long
+/// resolution proofs.
+[[nodiscard]] Word array_multiplier(Netlist& n, const Word& a, const Word& b);
+
+/// Same function, different structure: partial products of the *swapped*
+/// operands accumulated with carry-select adders. Miter against
+/// array_multiplier for an equivalence-checking instance.
+[[nodiscard]] Word multiplier_commuted(Netlist& n, const Word& a,
+                                       const Word& b);
+
+/// Left-rotation barrel shifter: logarithmic mux stages, rotate amount is a
+/// wire word of width ceil(log2(width)) (extra high bits allowed and used
+/// modulo the width only when width is a power of two; callers should keep
+/// width a power of two).
+[[nodiscard]] Word barrel_rotate_left(Netlist& n, const Word& value,
+                                      const Word& amount);
+
+/// value == other, as a single wire.
+[[nodiscard]] Wire word_equal(Netlist& n, const Word& a, const Word& b);
+
+/// Two's-complement incrementer (adds 1, drops carry).
+[[nodiscard]] Word incrementer(Netlist& n, const Word& a);
+
+}  // namespace satproof::circuit

@@ -1,0 +1,116 @@
+#include "src/cnf/dimacs.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace satproof::dimacs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("dimacs: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+Formula parse(std::istream& in) {
+  Formula f;
+  bool saw_header = false;
+  std::int64_t declared_vars = 0;
+  std::int64_t declared_clauses = 0;
+  std::vector<Lit> current;
+  std::size_t line_no = 0;
+  std::string line;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Tolerate Windows line endings.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == 'c') continue;
+    // SATLIB files end with a '%' line followed by a lone '0'; everything
+    // after the marker is trailer, not clauses.
+    if (line[0] == '%') break;
+    if (line[0] == 'p') {
+      if (saw_header) fail(line_no, "duplicate header");
+      std::istringstream hs(line);
+      std::string p, fmt;
+      hs >> p >> fmt >> declared_vars >> declared_clauses;
+      if (!hs || fmt != "cnf" || declared_vars < 0 || declared_clauses < 0) {
+        fail(line_no, "malformed header (expected 'p cnf <vars> <clauses>')");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) fail(line_no, "literals before 'p cnf' header");
+    std::istringstream ls(line);
+    std::int64_t d = 0;
+    while (ls >> d) {
+      if (d == 0) {
+        f.add_clause(current);
+        current.clear();
+      } else {
+        const std::int64_t v = d < 0 ? -d : d;
+        if (v > declared_vars) fail(line_no, "literal exceeds declared vars");
+        current.push_back(Lit::from_dimacs(d));
+      }
+    }
+    if (!ls.eof()) fail(line_no, "non-integer token");
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: unterminated final clause (missing 0)");
+  }
+  if (saw_header) {
+    f.ensure_var(static_cast<Var>(declared_vars == 0 ? 0 : declared_vars - 1));
+    if (static_cast<std::int64_t>(f.num_clauses()) != declared_clauses) {
+      throw std::runtime_error(
+          "dimacs: clause count mismatch: header declares " +
+          std::to_string(declared_clauses) + ", file contains " +
+          std::to_string(f.num_clauses()));
+    }
+  } else if (in.bad()) {
+    throw std::runtime_error("dimacs: stream read error");
+  } else {
+    throw std::runtime_error("dimacs: missing 'p cnf' header");
+  }
+  return f;
+}
+
+Formula parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Formula parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dimacs: cannot open " + path);
+  return parse(in);
+}
+
+void write(std::ostream& out, const Formula& f, const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream cs(comment);
+    std::string cl;
+    while (std::getline(cs, cl)) out << "c " << cl << '\n';
+  }
+  out << "p cnf " << f.num_vars() << ' ' << f.num_clauses() << '\n';
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    for (const Lit lit : f.clause(id)) out << lit.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+void write_file(const std::string& path, const Formula& f,
+                const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("dimacs: cannot open " + path);
+  write(out, f, comment);
+  if (!out) throw std::runtime_error("dimacs: write error on " + path);
+}
+
+}  // namespace satproof::dimacs

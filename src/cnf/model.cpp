@@ -1,0 +1,31 @@
+#include "src/cnf/model.hpp"
+
+namespace satproof {
+
+LBool value_of(Lit lit, const Model& model) {
+  if (lit.var() >= model.size()) return LBool::Undef;
+  const LBool v = model[lit.var()];
+  if (v == LBool::Undef) return LBool::Undef;
+  return lit.negated() ? ~v : v;
+}
+
+std::optional<ClauseId> first_falsified_clause(const Formula& f,
+                                               const Model& model) {
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    bool satisfied = false;
+    for (const Lit lit : f.clause(id)) {
+      if (value_of(lit, model) == LBool::True) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return id;
+  }
+  return std::nullopt;
+}
+
+bool satisfies(const Formula& f, const Model& model) {
+  return !first_falsified_clause(f, model).has_value();
+}
+
+}  // namespace satproof

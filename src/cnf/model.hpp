@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof {
+
+/// A (possibly partial) assignment: model[v] is the value of variable v.
+using Model = std::vector<LBool>;
+
+/// Value of `lit` under `model`; Undef when the variable is unassigned or
+/// out of the model's range.
+[[nodiscard]] LBool value_of(Lit lit, const Model& model);
+
+/// Linear-time verification of a satisfying assignment.
+///
+/// The paper's Section 1 observes that the SAT side of solver validation is
+/// easy: checking a claimed model is linear in the formula size. This is
+/// that check. Returns the ID of the first clause not satisfied by `model`
+/// (unassigned literals do not satisfy a clause), or std::nullopt when the
+/// model satisfies every clause.
+[[nodiscard]] std::optional<ClauseId> first_falsified_clause(
+    const Formula& f, const Model& model);
+
+/// True when `model` satisfies every clause of `f`.
+[[nodiscard]] bool satisfies(const Formula& f, const Model& model);
+
+}  // namespace satproof

@@ -1,0 +1,24 @@
+#include "src/cnf/types.hpp"
+
+namespace satproof {
+
+std::string to_string(Lit lit) {
+  if (lit == Lit::invalid()) return "<invalid>";
+  std::string s = lit.negated() ? "~x" : "x";
+  s += std::to_string(lit.var());
+  return s;
+}
+
+std::string to_string(LBool b) {
+  switch (b) {
+    case LBool::False:
+      return "F";
+    case LBool::True:
+      return "T";
+    case LBool::Undef:
+      return "U";
+  }
+  return "?";
+}
+
+}  // namespace satproof

@@ -1,0 +1,137 @@
+#include "src/core/unsat_core.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/checker/depth_first.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::core {
+
+CoreExtraction extract_core(const Formula& f,
+                            const solver::SolverOptions& opts) {
+  CoreExtraction out;
+
+  solver::Solver solver(opts);
+  solver.add_formula(f);
+  trace::MemoryTraceWriter writer;
+  solver.set_trace_writer(&writer);
+  const solver::SolveResult res = solver.solve();
+  if (res == solver::SolveResult::Satisfiable) {
+    out.status = CoreStatus::Satisfiable;
+    out.error = "formula is satisfiable; it has no unsatisfiable core";
+    return out;
+  }
+  if (res == solver::SolveResult::Unknown) {
+    out.status = CoreStatus::Unknown;
+    out.error = "solver gave up before proving unsatisfiability";
+    return out;
+  }
+
+  const trace::MemoryTrace trace = writer.take();
+  trace::MemoryTraceReader reader(trace);
+  const checker::CheckResult check = checker::check_depth_first(f, reader);
+  if (!check.ok) {
+    out.status = CoreStatus::CheckFailed;
+    out.error = "proof check failed: " + check.error;
+    return out;
+  }
+
+  out.ok = true;
+  out.status = CoreStatus::Ok;
+  out.core_ids = check.core;
+  out.core = f.subformula(out.core_ids);
+  out.num_vars_used = out.core.num_used_vars();
+  return out;
+}
+
+CoreIteration iterate_core(const Formula& f, std::size_t max_iterations,
+                           const solver::SolverOptions& opts) {
+  CoreIteration out;
+  out.steps.push_back({f.num_clauses(), f.num_used_vars()});
+
+  Formula current = f;
+  for (std::size_t i = 0; i < max_iterations; ++i) {
+    CoreExtraction step = extract_core(current, opts);
+    if (!step.ok) {
+      // A core of an unsatisfiable formula is unsatisfiable by the Lemma of
+      // Section 2.2; a SAT answer here means the input was satisfiable (or
+      // a component is buggy) and must be surfaced, not iterated over.
+      out.error =
+          "iteration " + std::to_string(i + 1) + ": " + step.error;
+      return out;
+    }
+    ++out.iterations;
+    out.steps.push_back({step.core.num_clauses(), step.num_vars_used});
+    const bool all_used = step.core.num_clauses() == current.num_clauses();
+    current = std::move(step.core);
+    if (all_used) {
+      out.fixed_point = true;
+      break;
+    }
+  }
+  out.ok = true;
+  out.final_core = std::move(current);
+  return out;
+}
+
+MinimalCore minimal_core(const Formula& f, const solver::SolverOptions& opts) {
+  MinimalCore out;
+
+  // Start from the proof core: usually far smaller than the formula.
+  CoreExtraction initial = extract_core(f, opts);
+  ++out.solver_calls;
+  if (!initial.ok) {
+    out.error = initial.error;
+    return out;
+  }
+  std::vector<ClauseId> current = std::move(initial.core_ids);
+
+  // A clause proven necessary stays necessary for every unsatisfiable
+  // subset (if S \ {c} is satisfiable then so is any subset of it), so the
+  // `necessary` set never needs re-testing.
+  std::set<ClauseId> necessary;
+  while (true) {
+    // Pick the next candidate not yet proven necessary.
+    ClauseId candidate = kInvalidClauseId;
+    for (const ClauseId id : current) {
+      if (!necessary.contains(id)) {
+        candidate = id;
+        break;
+      }
+    }
+    if (candidate == kInvalidClauseId) break;  // minimal
+
+    std::vector<ClauseId> without;
+    without.reserve(current.size() - 1);
+    for (const ClauseId id : current) {
+      if (id != candidate) without.push_back(id);
+    }
+    CoreExtraction step = extract_core(f.subformula(without), opts);
+    ++out.solver_calls;
+    if (step.ok) {
+      // Still unsatisfiable without the candidate: adopt the (possibly much
+      // smaller) new core, mapped back to the input formula's IDs.
+      std::vector<ClauseId> mapped;
+      mapped.reserve(step.core_ids.size());
+      for (const ClauseId sub_id : step.core_ids) {
+        mapped.push_back(without[sub_id]);
+      }
+      current = std::move(mapped);
+    } else if (step.status == CoreStatus::Satisfiable) {
+      necessary.insert(candidate);
+    } else {
+      out.error = step.error;  // budget exhausted or a checking failure
+      return out;
+    }
+  }
+
+  std::sort(current.begin(), current.end());
+  out.core_ids = std::move(current);
+  out.core = f.subformula(out.core_ids);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace satproof::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cnf/formula.hpp"
+#include "src/solver/options.hpp"
+
+namespace satproof::core {
+
+/// Why a core extraction did not produce a core.
+enum class CoreStatus : std::uint8_t {
+  Ok,           ///< core extracted and validated
+  Satisfiable,  ///< the input formula is satisfiable — no core exists
+  Unknown,      ///< the solver's conflict budget ran out
+  CheckFailed,  ///< the proof trace did not validate (solver bug)
+};
+
+/// Result of one solve + depth-first-check round on a formula.
+struct CoreExtraction {
+  /// False if the solve did not return UNSAT or the check failed; the
+  /// diagnostic is in `error` and the reason in `status`.
+  bool ok = false;
+  CoreStatus status = CoreStatus::CheckFailed;
+  std::string error;
+  /// IDs (in the input formula's numbering) of the original clauses the
+  /// resolution proof touches.
+  std::vector<ClauseId> core_ids;
+  /// The core as a formula (same variable numbering as the input).
+  Formula core;
+  /// Distinct variables occurring in the core (the paper's Table 3 counts
+  /// involved variables, not declared ones).
+  std::size_t num_vars_used = 0;
+};
+
+/// Solves `f`, checks the proof with the depth-first checker, and returns
+/// the set of original clauses involved in the proof — the unsatisfiable
+/// core the paper obtains "as a by-product" of depth-first checking
+/// (Section 3.2). `f` must be unsatisfiable.
+[[nodiscard]] CoreExtraction extract_core(const Formula& f,
+                                          const solver::SolverOptions& opts = {});
+
+/// Result of the iterative core-reduction procedure of Table 3.
+struct CoreIteration {
+  bool ok = false;
+  std::string error;
+
+  /// Clause/variable counts per step. steps[0] describes the input formula;
+  /// steps[i] (i >= 1) describes the core after the i-th extraction.
+  struct Step {
+    std::size_t num_clauses = 0;
+    std::size_t num_vars = 0;
+  };
+  std::vector<Step> steps;
+
+  /// Number of extraction rounds actually performed.
+  std::size_t iterations = 0;
+
+  /// True when a fixed point was reached: the last proof used *every*
+  /// clause of its input, so further iteration cannot shrink the core.
+  bool fixed_point = false;
+
+  /// The final (smallest) core.
+  Formula final_core;
+};
+
+/// Iterates core extraction: feed the core back to the solver, re-check,
+/// extract again — "after several iterations, the number may reach a fixed
+/// point, so that all the clauses are needed for the proof" (Section 4).
+/// Stops at the fixed point or after `max_iterations` rounds, whichever
+/// comes first (the paper measured up to 30).
+[[nodiscard]] CoreIteration iterate_core(const Formula& f,
+                                         std::size_t max_iterations = 30,
+                                         const solver::SolverOptions& opts = {});
+
+/// Result of minimal-core computation.
+struct MinimalCore {
+  bool ok = false;
+  std::string error;
+  /// IDs (input formula numbering) of a *minimal* unsatisfiable subset:
+  /// removing any single clause makes it satisfiable.
+  std::vector<ClauseId> core_ids;
+  Formula core;
+  /// Number of solver invocations spent.
+  std::size_t solver_calls = 0;
+};
+
+/// Computes a minimal unsatisfiable subformula by destructive testing on
+/// top of proof-based extraction — the "small unsatisfiable subformulae"
+/// application the paper cites (Bruni & Sassano, SAT 2001). The fixed
+/// point of iterate_core() only guarantees every clause appears in *one*
+/// particular proof; this routine guarantees set-minimality: each
+/// candidate clause is dropped, the remainder re-solved, and kept out
+/// whenever unsatisfiability survives (shrinking via the new proof's core
+/// each time). Cost: one solve per core clause in the worst case — use on
+/// formulas whose extracted core is already small.
+[[nodiscard]] MinimalCore minimal_core(const Formula& f,
+                                       const solver::SolverOptions& opts = {});
+
+}  // namespace satproof::core

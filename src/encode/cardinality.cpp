@@ -1,0 +1,84 @@
+#include "src/encode/cardinality.hpp"
+
+#include <vector>
+
+namespace satproof::encode {
+
+void add_at_most_k(Formula& f, std::span<const Lit> lits, unsigned k) {
+  const std::size_t n = lits.size();
+  if (k >= n) return;  // vacuous
+  if (k == 0) {
+    for (const Lit lit : lits) f.add_clause({~lit});
+    return;
+  }
+
+  // Sequential counter: s(i, j) = "at least j+1 of lits[0..i] are true",
+  // i in [0, n-2], j in [0, k-1]. Fresh variables after the formula's
+  // current range.
+  const Var base = f.num_vars();
+  const auto s = [&](std::size_t i, unsigned j) {
+    return Lit::pos(static_cast<Var>(base + i * k + j));
+  };
+
+  f.add_clause({~lits[0], s(0, 0)});
+  for (unsigned j = 1; j < k; ++j) f.add_clause({~s(0, j)});
+  for (std::size_t i = 1; i < n - 1; ++i) {
+    f.add_clause({~lits[i], s(i, 0)});
+    f.add_clause({~s(i - 1, 0), s(i, 0)});
+    for (unsigned j = 1; j < k; ++j) {
+      f.add_clause({~lits[i], ~s(i - 1, j - 1), s(i, j)});
+      f.add_clause({~s(i - 1, j), s(i, j)});
+    }
+    f.add_clause({~lits[i], ~s(i - 1, k - 1)});
+  }
+  f.add_clause({~lits[n - 1], ~s(n - 2, k - 1)});
+}
+
+void add_at_least_k(Formula& f, std::span<const Lit> lits, unsigned k) {
+  const std::size_t n = lits.size();
+  if (k == 0) return;
+  if (k > n) {
+    f.add_clause(std::initializer_list<Lit>{});  // impossible
+    return;
+  }
+  if (k == n) {
+    for (const Lit lit : lits) f.add_clause({lit});
+    return;
+  }
+  if (k == 1) {
+    f.add_clause(lits);
+    return;
+  }
+  // At least k of lits == at most n-k of their negations.
+  std::vector<Lit> negated;
+  negated.reserve(n);
+  for (const Lit lit : lits) negated.push_back(~lit);
+  add_at_most_k(f, negated, static_cast<unsigned>(n - k));
+}
+
+void add_exactly_k(Formula& f, std::span<const Lit> lits, unsigned k) {
+  add_at_least_k(f, lits, k);
+  add_at_most_k(f, lits, k);
+}
+
+Formula pigeonhole_sequential(unsigned holes) {
+  const unsigned pigeons = holes + 1;
+  Formula f(pigeons * holes);
+  const auto var = [holes](unsigned pigeon, unsigned hole) {
+    return static_cast<Var>(pigeon * holes + hole);
+  };
+  std::vector<Lit> clause;
+  for (unsigned i = 0; i < pigeons; ++i) {
+    clause.clear();
+    for (unsigned j = 0; j < holes; ++j) clause.push_back(Lit::pos(var(i, j)));
+    f.add_clause(clause);
+  }
+  for (unsigned j = 0; j < holes; ++j) {
+    clause.clear();
+    for (unsigned i = 0; i < pigeons; ++i) clause.push_back(Lit::pos(var(i, j)));
+    add_at_most_k(f, clause, 1);
+  }
+  return f;
+}
+
+}  // namespace satproof::encode

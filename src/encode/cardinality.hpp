@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// Cardinality-constraint encoders — the building block behind many of the
+/// EDA encodings the paper's applications use (track capacity in routing,
+/// one-action-per-step in planning, one-hot state invariants).
+///
+/// The sequential-counter (Sinz) encoding adds auxiliary variables
+/// s(i, j) = "at least j of the first i+1 literals are true" with O(n*k)
+/// clauses, in contrast to the O(n^k) pairwise form. Auxiliary variables
+/// are appended after the formula's current variables.
+
+/// Adds clauses forcing at most `k` of `lits` to be true.
+void add_at_most_k(Formula& f, std::span<const Lit> lits, unsigned k);
+
+/// Adds clauses forcing at least `k` of `lits` to be true.
+void add_at_least_k(Formula& f, std::span<const Lit> lits, unsigned k);
+
+/// Adds clauses forcing exactly `k` of `lits` to be true.
+void add_exactly_k(Formula& f, std::span<const Lit> lits, unsigned k);
+
+/// Pigeonhole with sequential-counter at-most-one constraints instead of
+/// the pairwise form of pigeonhole(): the same (unsatisfiable) principle,
+/// different clause structure — an encoding-sensitivity instance family.
+[[nodiscard]] Formula pigeonhole_sequential(unsigned holes);
+
+}  // namespace satproof::encode

@@ -1,0 +1,61 @@
+#include "src/encode/coloring.hpp"
+
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace satproof::encode {
+
+namespace {
+
+void add_vertex_constraints(Formula& f, unsigned n, unsigned colors) {
+  const auto var = [colors](unsigned v, unsigned k) {
+    return static_cast<Var>(v * colors + k);
+  };
+  std::vector<Lit> clause;
+  for (unsigned v = 0; v < n; ++v) {
+    clause.clear();
+    for (unsigned k = 0; k < colors; ++k) clause.push_back(Lit::pos(var(v, k)));
+    f.add_clause(clause);
+    for (unsigned k1 = 0; k1 < colors; ++k1) {
+      for (unsigned k2 = k1 + 1; k2 < colors; ++k2) {
+        f.add_clause({Lit::neg(var(v, k1)), Lit::neg(var(v, k2))});
+      }
+    }
+  }
+}
+
+void add_edge(Formula& f, unsigned colors, unsigned u, unsigned v) {
+  const auto var = [colors](unsigned vertex, unsigned k) {
+    return static_cast<Var>(vertex * colors + k);
+  };
+  for (unsigned k = 0; k < colors; ++k) {
+    f.add_clause({Lit::neg(var(u, k)), Lit::neg(var(v, k))});
+  }
+}
+
+}  // namespace
+
+Formula clique_coloring(unsigned n, unsigned colors) {
+  Formula f(n * colors);
+  add_vertex_constraints(f, n, colors);
+  for (unsigned u = 0; u < n; ++u) {
+    for (unsigned v = u + 1; v < n; ++v) add_edge(f, colors, u, v);
+  }
+  return f;
+}
+
+Formula random_graph_coloring(unsigned n, double density, unsigned colors,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  Formula f(n * colors);
+  add_vertex_constraints(f, n, colors);
+  for (unsigned u = 0; u < n; ++u) {
+    for (unsigned v = u + 1; v < n; ++v) {
+      if (rng.next_bool(density)) add_edge(f, colors, u, v);
+    }
+  }
+  return f;
+}
+
+}  // namespace satproof::encode

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// Graph coloring of a clique: color K_n with `colors` colors. Satisfiable
+/// iff colors >= n; with colors = n - 1 this is a pigeonhole in disguise
+/// but with the extra per-vertex at-most-one-color structure of real
+/// coloring encodings.
+///
+/// Variables: c(v, k) = "vertex v has color k". Clauses: each vertex gets
+/// at least one color, at most one color, and adjacent vertices (all pairs
+/// in a clique) differ on every color.
+[[nodiscard]] Formula clique_coloring(unsigned n, unsigned colors);
+
+/// Coloring of a random graph: `n` vertices, each edge present with
+/// probability `density`, `colors` colors, deterministic in `seed`. May be
+/// SAT or UNSAT; the property sweeps verify whichever answer the solver
+/// returns.
+[[nodiscard]] Formula random_graph_coloring(unsigned n, double density,
+                                            unsigned colors,
+                                            std::uint64_t seed);
+
+}  // namespace satproof::encode

@@ -1,0 +1,81 @@
+#include "src/encode/fpga_routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace satproof::encode {
+
+Formula fpga_routing(unsigned num_nets, unsigned tracks, unsigned num_columns,
+                     std::uint64_t seed, bool congested) {
+  if (congested && num_nets < tracks + 1) {
+    throw std::invalid_argument(
+        "fpga_routing: need at least tracks+1 nets to congest the channel");
+  }
+  if (num_columns < 4) {
+    throw std::invalid_argument("fpga_routing: need at least 4 columns");
+  }
+  util::Rng rng(seed);
+
+  struct Span {
+    unsigned left, right;
+  };
+  std::vector<Span> spans(num_nets);
+
+  unsigned first_free = 0;
+  if (congested) {
+    // The hot spot: column crossed by tracks+1 nets.
+    const unsigned hot = static_cast<unsigned>(
+        1 + rng.next_below(num_columns - 2));
+    for (unsigned i = 0; i < tracks + 1; ++i) {
+      const unsigned left =
+          static_cast<unsigned>(rng.next_below(hot + 1));
+      const unsigned right = hot + static_cast<unsigned>(
+          rng.next_below(num_columns - hot));
+      spans[i] = {left, right};
+    }
+    first_free = tracks + 1;
+  }
+  // The remaining nets get arbitrary spans.
+  for (unsigned i = first_free; i < num_nets; ++i) {
+    unsigned a = static_cast<unsigned>(rng.next_below(num_columns));
+    unsigned b = static_cast<unsigned>(rng.next_below(num_columns));
+    if (a > b) std::swap(a, b);
+    spans[i] = {a, b};
+  }
+
+  Formula f(num_nets * tracks);
+  const auto var = [tracks](unsigned net, unsigned track) {
+    return static_cast<Var>(net * tracks + track);
+  };
+
+  std::vector<Lit> clause;
+  for (unsigned i = 0; i < num_nets; ++i) {
+    // Each net is routed on at least one track...
+    clause.clear();
+    for (unsigned t = 0; t < tracks; ++t) clause.push_back(Lit::pos(var(i, t)));
+    f.add_clause(clause);
+    // ... and at most one.
+    for (unsigned t1 = 0; t1 < tracks; ++t1) {
+      for (unsigned t2 = t1 + 1; t2 < tracks; ++t2) {
+        f.add_clause({Lit::neg(var(i, t1)), Lit::neg(var(i, t2))});
+      }
+    }
+  }
+  // Overlapping nets must not share a track.
+  for (unsigned i = 0; i < num_nets; ++i) {
+    for (unsigned j = i + 1; j < num_nets; ++j) {
+      const bool overlap = spans[i].left <= spans[j].right &&
+                           spans[j].left <= spans[i].right;
+      if (!overlap) continue;
+      for (unsigned t = 0; t < tracks; ++t) {
+        f.add_clause({Lit::neg(var(i, t)), Lit::neg(var(j, t))});
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace satproof::encode

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// SAT-based FPGA channel routing (the application domain of the paper's
+/// `too_largefs3w8v262` row, after Nam/Sakallah/Rutenbar): nets occupy
+/// horizontal spans of a routing channel with a fixed number of tracks;
+/// each net must be assigned exactly one track, and nets whose spans
+/// overlap must not share one.
+///
+/// The generator lays out `num_nets` nets with pseudo-random spans over
+/// `num_columns` columns and then plants a congestion hot spot: `tracks+1`
+/// of the nets are forced to cross one common column, so the channel is
+/// un-routable and the instance unsatisfiable. The unsatisfiable core of
+/// such an instance names the nets responsible for the congestion — the
+/// designer feedback application described in Section 4 of the paper.
+///
+/// Variables: x(i, t) = "net i uses track t". Clauses: at-least-one and
+/// at-most-one track per net, plus a conflict clause per overlapping pair
+/// per track.
+///
+/// With `congested` false no hot spot is planted; the instance is then
+/// satisfiable whenever the random spans happen to fit the channel (used
+/// for the SAT-side tests).
+[[nodiscard]] Formula fpga_routing(unsigned num_nets, unsigned tracks,
+                                   unsigned num_columns, std::uint64_t seed,
+                                   bool congested = true);
+
+}  // namespace satproof::encode

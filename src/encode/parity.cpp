@@ -1,0 +1,195 @@
+#include "src/encode/parity.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace satproof::encode {
+
+namespace {
+
+/// Adds CNF clauses for x XOR y = parity.
+void add_xor2(Formula& f, Var x, Var y, bool parity) {
+  if (parity) {
+    f.add_clause({Lit::pos(x), Lit::pos(y)});
+    f.add_clause({Lit::neg(x), Lit::neg(y)});
+  } else {
+    f.add_clause({Lit::pos(x), Lit::neg(y)});
+    f.add_clause({Lit::neg(x), Lit::pos(y)});
+  }
+}
+
+/// Adds CNF clauses for x XOR y XOR z = parity (4 clauses: those literal
+/// sign patterns whose parity of negations contradicts the constraint).
+void add_xor3(Formula& f, Var x, Var y, Var z, bool parity) {
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    const bool p = ((mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1)) % 2;
+    // Assignments with parity != `parity` must be forbidden: the clause is
+    // the negation of the forbidden point.
+    if (p == parity) continue;
+    f.add_clause({Lit(x, (mask & 1) != 0), Lit(y, (mask & 2) != 0),
+                  Lit(z, (mask & 4) != 0)});
+  }
+}
+
+/// GF(2) consistency test for a sparse XOR system.
+struct Xor3Row {
+  Var v[3];
+  bool parity;
+};
+
+bool consistent(const std::vector<Xor3Row>& rows, unsigned n) {
+  const std::size_t words = (n + 64) / 64;  // one spare bit for the parity
+  std::vector<std::vector<std::uint64_t>> mat;
+  mat.reserve(rows.size());
+  for (const Xor3Row& r : rows) {
+    std::vector<std::uint64_t> row(words + 1, 0);
+    for (const Var v : r.v) row[v / 64] ^= std::uint64_t{1} << (v % 64);
+    row[words] = r.parity ? 1 : 0;
+    mat.push_back(std::move(row));
+  }
+  std::size_t rank_row = 0;
+  for (unsigned col = 0; col < n && rank_row < mat.size(); ++col) {
+    std::size_t pivot = rank_row;
+    while (pivot < mat.size() &&
+           ((mat[pivot][col / 64] >> (col % 64)) & 1) == 0) {
+      ++pivot;
+    }
+    if (pivot == mat.size()) continue;
+    std::swap(mat[rank_row], mat[pivot]);
+    for (std::size_t r = 0; r < mat.size(); ++r) {
+      if (r != rank_row && ((mat[r][col / 64] >> (col % 64)) & 1) != 0) {
+        for (std::size_t w = 0; w <= words; ++w) mat[r][w] ^= mat[rank_row][w];
+      }
+    }
+    ++rank_row;
+  }
+  // Inconsistent iff some row is all-zero on the left with parity 1.
+  for (const auto& row : mat) {
+    bool zero_lhs = true;
+    for (std::size_t w = 0; w < words; ++w) {
+      if (row[w] != 0) {
+        zero_lhs = false;
+        break;
+      }
+    }
+    if (zero_lhs && row[words] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Formula xor_chain(unsigned n, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("xor_chain: need at least 3 vars");
+  util::Rng rng(seed);
+  std::vector<bool> parity(n);
+  bool total = false;
+  for (unsigned i = 0; i < n; ++i) {
+    parity[i] = rng.next_bool();
+    total = total != parity[i];
+  }
+  if (!total) parity[0] = !parity[0];  // force odd total parity: UNSAT
+
+  Formula f(n);
+  for (unsigned i = 0; i < n; ++i) {
+    add_xor2(f, i, (i + 1) % n, parity[i]);
+  }
+  return f;
+}
+
+namespace {
+
+/// Adds CNF clauses for the XOR of `vars` equal to `parity` (2^(k-1)
+/// clauses for k variables; keep k small).
+void add_xor_k(Formula& f, const std::vector<Var>& vars, bool parity) {
+  const unsigned k = static_cast<unsigned>(vars.size());
+  std::vector<Lit> clause(k);
+  for (unsigned mask = 0; mask < (1u << k); ++mask) {
+    bool p = false;
+    for (unsigned i = 0; i < k; ++i) p = p != (((mask >> i) & 1) != 0);
+    if (p == parity) continue;  // consistent points stay allowed
+    for (unsigned i = 0; i < k; ++i) {
+      clause[i] = Lit(vars[i], ((mask >> i) & 1) != 0);
+    }
+    f.add_clause(clause);
+  }
+}
+
+}  // namespace
+
+Formula tseitin_torus(unsigned rows, unsigned cols, std::uint64_t seed) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("tseitin_torus: need rows, cols >= 3");
+  }
+  util::Rng rng(seed);
+  // Edge variables: horizontal edge (r,c)-(r,c+1) and vertical edge
+  // (r,c)-(r+1,c), indices modulo the grid.
+  const auto h_edge = [cols](unsigned r, unsigned c) {
+    return static_cast<Var>(2 * (r * cols + c));
+  };
+  const auto v_edge = [cols](unsigned r, unsigned c) {
+    return static_cast<Var>(2 * (r * cols + c) + 1);
+  };
+
+  std::vector<bool> charge(rows * cols);
+  bool total = false;
+  for (auto&& ch : charge) {
+    const bool bit = rng.next_bool();
+    ch = bit;
+    total = total != bit;
+  }
+  if (!total) charge[0] = !charge[0];  // odd total charge: unsatisfiable
+
+  Formula f(2 * rows * cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      const std::vector<Var> incident = {
+          h_edge(r, c),
+          h_edge(r, (c + cols - 1) % cols),
+          v_edge(r, c),
+          v_edge((r + rows - 1) % rows, c),
+      };
+      add_xor_k(f, incident, charge[r * cols + c]);
+    }
+  }
+  return f;
+}
+
+Formula random_xor3(unsigned n, unsigned m, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("random_xor3: need at least 3 vars");
+  util::Rng rng(seed);
+  std::vector<Xor3Row> rows;
+  // Regenerate until the GF(2) system is inconsistent (for m comfortably
+  // above n this succeeds almost immediately).
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    rows.clear();
+    for (unsigned i = 0; i < m; ++i) {
+      Var a = static_cast<Var>(rng.next_below(n));
+      Var b, c;
+      do {
+        b = static_cast<Var>(rng.next_below(n));
+      } while (b == a);
+      do {
+        c = static_cast<Var>(rng.next_below(n));
+      } while (c == a || c == b);
+      rows.push_back({{a, b, c}, rng.next_bool()});
+    }
+    if (consistent(rows, n)) {
+      // Try the cheap fix first: flipping one parity makes the system
+      // inconsistent whenever that row is linearly dependent on the rest.
+      rows.back().parity = !rows.back().parity;
+      if (consistent(rows, n)) continue;
+    }
+    Formula f(n);
+    for (const Xor3Row& r : rows) {
+      add_xor3(f, r.v[0], r.v[1], r.v[2], r.parity);
+    }
+    return f;
+  }
+  throw std::runtime_error(
+      "random_xor3: could not generate an inconsistent system; increase m");
+}
+
+}  // namespace satproof::encode

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// XOR-chain instance: constraints x_i XOR x_{i+1} = c_i around a cycle of
+/// `n` variables, with the parities c_i drawn pseudo-randomly and then
+/// adjusted so their total parity is odd. Summing all constraints gives
+/// 0 = 1 — unsatisfiable. XOR structure is the paper's explanation for the
+/// long proofs of the `longmult` family ("xor gates often require long
+/// proofs by resolution").
+[[nodiscard]] Formula xor_chain(unsigned n, std::uint64_t seed);
+
+/// Random 3-XOR (Tseitin-style) instance: `m` constraints, each the XOR of
+/// 3 distinct variables out of `n`, equal to a random parity; the last
+/// constraint's parity is flipped if needed to make the system
+/// inconsistent over GF(2) — checked by Gaussian elimination, so the
+/// returned formula is always unsatisfiable. Hard for resolution even at
+/// moderate sizes; keep `n` small.
+[[nodiscard]] Formula random_xor3(unsigned n, unsigned m, std::uint64_t seed);
+
+/// Tseitin parity contradiction on a rows x cols torus grid: one variable
+/// per edge (2*rows*cols edges, every vertex degree 4), one XOR constraint
+/// per vertex with pseudo-random charges summing to odd — so the formula
+/// is unsatisfiable by the handshake argument. Tseitin formulas on
+/// well-connected graphs are the classic family of provably long
+/// resolution proofs; this is the structured stand-in for the paper's
+/// longmult observation that "xor gates often require long proofs by
+/// resolution". Requires rows >= 3 and cols >= 3 (so edges are distinct).
+[[nodiscard]] Formula tseitin_torus(unsigned rows, unsigned cols,
+                                    std::uint64_t seed);
+
+}  // namespace satproof::encode

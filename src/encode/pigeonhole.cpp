@@ -1,0 +1,32 @@
+#include "src/encode/pigeonhole.hpp"
+
+#include <vector>
+
+namespace satproof::encode {
+
+Formula pigeonhole(unsigned holes) {
+  const unsigned pigeons = holes + 1;
+  Formula f(pigeons * holes);
+  const auto var = [holes](unsigned pigeon, unsigned hole) {
+    return static_cast<Var>(pigeon * holes + hole);
+  };
+
+  // Every pigeon sits somewhere.
+  std::vector<Lit> clause;
+  for (unsigned i = 0; i < pigeons; ++i) {
+    clause.clear();
+    for (unsigned j = 0; j < holes; ++j) clause.push_back(Lit::pos(var(i, j)));
+    f.add_clause(clause);
+  }
+  // No hole hosts two pigeons.
+  for (unsigned j = 0; j < holes; ++j) {
+    for (unsigned i1 = 0; i1 < pigeons; ++i1) {
+      for (unsigned i2 = i1 + 1; i2 < pigeons; ++i2) {
+        f.add_clause({Lit::neg(var(i1, j)), Lit::neg(var(i2, j))});
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace satproof::encode

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// The pigeonhole principle PHP(holes+1, holes): `holes + 1` pigeons must
+/// each sit in one of `holes` holes, no two sharing. Unsatisfiable, with
+/// proofs that are provably exponential for resolution — a classic
+/// stress case for proof checkers (every learned clause matters).
+///
+/// Variables: p(i, j) = "pigeon i sits in hole j", i in [0, holes],
+/// j in [0, holes). Clauses: one per pigeon (at least one hole) and one per
+/// hole and pigeon pair (at most one pigeon per hole).
+[[nodiscard]] Formula pigeonhole(unsigned holes);
+
+}  // namespace satproof::encode

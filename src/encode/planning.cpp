@@ -1,0 +1,327 @@
+#include "src/encode/planning.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace satproof::encode {
+
+namespace {
+
+/// Variable layout for the blocks-world encoding. Invalid combinations
+/// (b on itself, moves with from == to, ...) own variable slots that no
+/// clause ever mentions; keeping the layout dense is simpler and matches
+/// the "declared but unused variables" phenomenon the paper notes about
+/// real planning CNFs. At-most-one ladder auxiliaries are allocated after
+/// the dense block.
+class Layout {
+ public:
+  Layout(unsigned blocks, unsigned steps)
+      : blocks_(blocks), places_(blocks + 1), steps_(steps) {}
+
+  /// on(b, x, t): block b rests on place x at time t.
+  [[nodiscard]] Var on(unsigned b, unsigned x, unsigned t) const {
+    return static_cast<Var>((t * blocks_ + b) * places_ + x);
+  }
+
+  /// move(b, x, y, t): at step t, block b moves from place x to place y.
+  [[nodiscard]] Var move(unsigned b, unsigned x, unsigned y, unsigned t) const {
+    const unsigned on_vars = (steps_ + 1) * blocks_ * places_;
+    return static_cast<Var>(
+        on_vars + ((t * blocks_ + b) * places_ + x) * places_ + y);
+  }
+
+  [[nodiscard]] unsigned table() const { return places_ - 1; }
+  [[nodiscard]] unsigned num_vars() const {
+    return (steps_ + 1) * blocks_ * places_ +
+           steps_ * blocks_ * places_ * places_;
+  }
+
+  /// True when move(b, x, y, .) is a well-formed action.
+  [[nodiscard]] bool valid_move(unsigned b, unsigned x, unsigned y) const {
+    return x != y && x != b && y != b;
+  }
+
+ private:
+  unsigned blocks_;
+  unsigned places_;
+  unsigned steps_;
+};
+
+/// Ladder (sequential) at-most-one over `vars`: O(n) clauses with n-1
+/// auxiliary variables, the encoding real SAT-plan generators use once the
+/// pairwise form gets quadratic. `next_aux` supplies fresh variables.
+void add_amo_ladder(Formula& f, const std::vector<Var>& vars, Var& next_aux) {
+  if (vars.size() < 2) return;
+  const std::size_t n = vars.size();
+  const Var first_aux = next_aux;
+  next_aux += static_cast<Var>(n - 1);
+  const auto s = [first_aux](std::size_t i) {
+    return static_cast<Var>(first_aux + i);
+  };
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // m_i -> s_i
+    f.add_clause({Lit::neg(vars[i]), Lit::pos(s(i))});
+    // s_{i-1} -> s_i
+    if (i > 0) f.add_clause({Lit::neg(s(i - 1)), Lit::pos(s(i))});
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    // s_{i-1} -> not m_i
+    f.add_clause({Lit::neg(s(i - 1)), Lit::neg(vars[i])});
+  }
+}
+
+void check_config(const BlocksConfig& cfg, unsigned B, const char* what) {
+  if (cfg.size() != B) {
+    throw std::invalid_argument(std::string("blocks_world: ") + what +
+                                " has wrong size");
+  }
+  std::vector<unsigned> on_count(B, 0);
+  for (unsigned b = 0; b < B; ++b) {
+    if (cfg[b] > B || cfg[b] == b) {
+      throw std::invalid_argument(std::string("blocks_world: ") + what +
+                                  " has an invalid support");
+    }
+    if (cfg[b] < B) ++on_count[cfg[b]];
+  }
+  for (unsigned x = 0; x < B; ++x) {
+    if (on_count[x] > 1) {
+      throw std::invalid_argument(std::string("blocks_world: ") + what +
+                                  " stacks two blocks on one block");
+    }
+  }
+  // Acyclicity: following supports must reach the table.
+  for (unsigned b = 0; b < B; ++b) {
+    unsigned cur = b, hops = 0;
+    while (cur != B) {
+      cur = cfg[cur];
+      if (++hops > B) {
+        throw std::invalid_argument(std::string("blocks_world: ") + what +
+                                    " contains a cycle");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Formula blocks_world(const BlocksConfig& init, const BlocksConfig& goal,
+                     unsigned steps) {
+  const unsigned B = static_cast<unsigned>(init.size());
+  if (B < 2) throw std::invalid_argument("blocks_world: need >= 2 blocks");
+  check_config(init, B, "init");
+  check_config(goal, B, "goal");
+
+  const Layout L(B, steps);
+  const unsigned table = L.table();
+  Formula f(L.num_vars());
+  Var next_aux = static_cast<Var>(L.num_vars());
+
+  std::vector<Lit> clause;
+
+  // ---- state axioms, every time point ------------------------------------
+  for (unsigned t = 0; t <= steps; ++t) {
+    for (unsigned b = 0; b < B; ++b) {
+      // Each block rests on at least one place (never on itself)...
+      clause.clear();
+      for (unsigned x = 0; x <= table; ++x) {
+        if (x != b) clause.push_back(Lit::pos(L.on(b, x, t)));
+      }
+      f.add_clause(clause);
+      // ...and at most one.
+      for (unsigned x = 0; x <= table; ++x) {
+        for (unsigned y = x + 1; y <= table; ++y) {
+          if (x == b || y == b) continue;
+          f.add_clause({Lit::neg(L.on(b, x, t)), Lit::neg(L.on(b, y, t))});
+        }
+      }
+    }
+    // At most one block directly on any block (the table is unbounded).
+    for (unsigned x = 0; x < B; ++x) {
+      for (unsigned b1 = 0; b1 < B; ++b1) {
+        for (unsigned b2 = b1 + 1; b2 < B; ++b2) {
+          if (b1 == x || b2 == x) continue;
+          f.add_clause({Lit::neg(L.on(b1, x, t)), Lit::neg(L.on(b2, x, t))});
+        }
+      }
+    }
+  }
+
+  // ---- action axioms, every step ------------------------------------------
+  for (unsigned t = 0; t < steps; ++t) {
+    for (unsigned b = 0; b < B; ++b) {
+      for (unsigned x = 0; x <= table; ++x) {
+        for (unsigned y = 0; y <= table; ++y) {
+          if (!L.valid_move(b, x, y)) continue;
+          const Lit not_m = Lit::neg(L.move(b, x, y, t));
+          // Precondition: b rests on x.
+          f.add_clause({not_m, Lit::pos(L.on(b, x, t))});
+          // Precondition: b is clear.
+          for (unsigned o = 0; o < B; ++o) {
+            if (o == b) continue;
+            f.add_clause({not_m, Lit::neg(L.on(o, b, t))});
+          }
+          // Precondition: the destination block is clear.
+          if (y < B) {
+            for (unsigned o = 0; o < B; ++o) {
+              if (o == y) continue;
+              f.add_clause({not_m, Lit::neg(L.on(o, y, t))});
+            }
+          }
+          // Effects.
+          f.add_clause({not_m, Lit::pos(L.on(b, y, t + 1))});
+          f.add_clause({not_m, Lit::neg(L.on(b, x, t + 1))});
+        }
+      }
+    }
+
+    // At most one action per step (ladder encoding).
+    std::vector<Var> moves;
+    for (unsigned b = 0; b < B; ++b) {
+      for (unsigned x = 0; x <= table; ++x) {
+        for (unsigned y = 0; y <= table; ++y) {
+          if (L.valid_move(b, x, y)) moves.push_back(L.move(b, x, y, t));
+        }
+      }
+    }
+    add_amo_ladder(f, moves, next_aux);
+
+    // Explanatory frame axioms: position changes need a responsible move.
+    for (unsigned b = 0; b < B; ++b) {
+      for (unsigned x = 0; x <= table; ++x) {
+        if (x == b) continue;
+        // on(b,x,t) and not on(b,x,t+1) -> some move of b away from x.
+        clause.clear();
+        clause.push_back(Lit::neg(L.on(b, x, t)));
+        clause.push_back(Lit::pos(L.on(b, x, t + 1)));
+        for (unsigned y = 0; y <= table; ++y) {
+          if (L.valid_move(b, x, y)) clause.push_back(Lit::pos(L.move(b, x, y, t)));
+        }
+        f.add_clause(clause);
+        // not on(b,x,t) and on(b,x,t+1) -> some move of b onto x.
+        clause.clear();
+        clause.push_back(Lit::pos(L.on(b, x, t)));
+        clause.push_back(Lit::neg(L.on(b, x, t + 1)));
+        for (unsigned w = 0; w <= table; ++w) {
+          if (L.valid_move(b, w, x)) clause.push_back(Lit::pos(L.move(b, w, x, t)));
+        }
+        f.add_clause(clause);
+      }
+    }
+  }
+
+  // ---- endpoint states ------------------------------------------------------
+  for (unsigned b = 0; b < B; ++b) {
+    f.add_clause({Lit::pos(L.on(b, init[b], 0))});
+    f.add_clause({Lit::pos(L.on(b, goal[b], steps))});
+  }
+  return f;
+}
+
+Formula blocks_world_reversal(unsigned num_blocks, unsigned steps) {
+  const unsigned B = num_blocks;
+  BlocksConfig init(B), goal(B);
+  for (unsigned b = 0; b < B; ++b) {
+    init[b] = b + 1 < B ? b + 1 : B;          // 0 on 1 on ... on B-1 on table
+    goal[b] = b > 0 ? b - 1 : B;              // B-1 on ... on 1 on 0 on table
+  }
+  return blocks_world(init, goal, steps);
+}
+
+unsigned blocks_world_optimal(const BlocksConfig& init,
+                              const BlocksConfig& goal) {
+  const unsigned B = static_cast<unsigned>(init.size());
+  check_config(init, B, "init");
+  check_config(goal, B, "goal");
+
+  const auto key = [](const BlocksConfig& c) {
+    std::string k(c.size(), '\0');
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      k[i] = static_cast<char>(c[i]);
+    }
+    return k;
+  };
+
+  std::unordered_map<std::string, unsigned> dist;
+  std::queue<BlocksConfig> frontier;
+  dist.emplace(key(init), 0);
+  frontier.push(init);
+  const std::string goal_key = key(goal);
+  if (key(init) == goal_key) return 0;
+
+  while (!frontier.empty()) {
+    const BlocksConfig cur = frontier.front();
+    frontier.pop();
+    const unsigned d = dist.at(key(cur));
+    // Clear blocks: nothing rests on them.
+    std::vector<bool> clear(B, true);
+    for (unsigned b = 0; b < B; ++b) {
+      if (cur[b] < B) clear[cur[b]] = false;
+    }
+    for (unsigned b = 0; b < B; ++b) {
+      if (!clear[b]) continue;
+      for (unsigned y = 0; y <= B; ++y) {  // destination: block or table
+        if (y == b || y == cur[b]) continue;
+        if (y < B && !clear[y]) continue;
+        BlocksConfig nxt = cur;
+        nxt[b] = y;
+        const std::string k = key(nxt);
+        if (dist.emplace(k, d + 1).second) {
+          if (k == goal_key) return d + 1;
+          frontier.push(nxt);
+        }
+      }
+    }
+  }
+  throw std::logic_error("blocks_world_optimal: goal unreachable");
+}
+
+BlocksWorldInstance blocks_world_random(unsigned num_blocks, int steps_delta,
+                                        std::uint64_t seed) {
+  if (num_blocks < 2) {
+    throw std::invalid_argument("blocks_world_random: need >= 2 blocks");
+  }
+  util::Rng rng(seed);
+
+  const auto random_config = [&]() {
+    const unsigned B = num_blocks;
+    std::vector<unsigned> order(B);
+    for (unsigned b = 0; b < B; ++b) order[b] = b;
+    rng.shuffle(order.begin(), order.end());
+    BlocksConfig cfg(B, B);
+    std::vector<unsigned> tops;  // current tower tops
+    for (const unsigned b : order) {
+      // Place on the table (opening a new tower) or on a random top.
+      if (tops.empty() || rng.next_bool(0.4)) {
+        cfg[b] = B;
+      } else {
+        const std::size_t i = rng.next_below(tops.size());
+        cfg[b] = tops[i];
+        tops.erase(tops.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      tops.push_back(b);
+    }
+    return cfg;
+  };
+
+  BlocksWorldInstance out;
+  // Re-draw until the instance is non-trivial (optimal >= 2) and the bound
+  // is representable.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    out.init = random_config();
+    out.goal = random_config();
+    out.optimal_steps = blocks_world_optimal(out.init, out.goal);
+    const int bound = static_cast<int>(out.optimal_steps) + steps_delta;
+    if (out.optimal_steps >= 2 && bound >= 1) {
+      out.steps = static_cast<unsigned>(bound);
+      out.formula = blocks_world(out.init, out.goal, out.steps);
+      return out;
+    }
+  }
+  throw std::runtime_error("blocks_world_random: no usable instance drawn");
+}
+
+}  // namespace satproof::encode

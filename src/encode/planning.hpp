@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// A blocks-world configuration: support[b] is what block b rests on —
+/// another block's index, or num_blocks for the table.
+using BlocksConfig = std::vector<unsigned>;
+
+/// Encodes "transform `init` into `goal` within `steps` moves" as CNF
+/// (fluents on(b,x,t), actions move(b,x,y,t), preconditions, effects,
+/// explanatory frame axioms, ladder-encoded at-most-one action per step,
+/// exactly-one-position state axioms). Idle steps are allowed, so
+/// satisfiability is monotone in `steps`. Both configurations must be
+/// well-formed (acyclic, at most one block per block).
+[[nodiscard]] Formula blocks_world(const BlocksConfig& init,
+                                   const BlocksConfig& goal, unsigned steps);
+
+/// Length of the shortest plan from `init` to `goal`, by breadth-first
+/// search over the explicit state space — the ground truth the SAT
+/// encoding is validated against, and the knob for generating instances
+/// exactly at the satisfiability frontier.
+[[nodiscard]] unsigned blocks_world_optimal(const BlocksConfig& init,
+                                            const BlocksConfig& goal);
+
+/// A generated planning instance.
+struct BlocksWorldInstance {
+  Formula formula;
+  BlocksConfig init;
+  BlocksConfig goal;
+  unsigned optimal_steps = 0;  ///< BFS distance from init to goal
+  unsigned steps = 0;          ///< bound encoded in `formula`
+};
+
+/// Random blocks-world instance in the style of the paper's bw_large.d row:
+/// pseudo-random init and goal configurations of `num_blocks` blocks, with
+/// the step bound set to optimal + steps_delta. steps_delta = -1 yields the
+/// tightest unsatisfiable instance; steps_delta = 0 the tightest
+/// satisfiable one.
+[[nodiscard]] BlocksWorldInstance blocks_world_random(unsigned num_blocks,
+                                                      int steps_delta,
+                                                      std::uint64_t seed);
+
+/// SAT-planning encoding of blocks world, the domain of the paper's
+/// `bw_large.d` row (from the AI planning community). The task is to
+/// reverse a tower of `num_blocks` blocks within `steps` moves.
+///
+/// Linear encoding: fluents on(b, x, t) ("block b rests on x", x a block
+/// or the table) for t in [0, steps], actions move(b, x, y, t) for t in
+/// [0, steps), with preconditions (b on x, b clear, destination clear),
+/// effects, explanatory frame axioms, at-most-one-action-per-step
+/// exclusion, and exactly-one-position state axioms. Idle steps are
+/// allowed, so satisfiability is monotone in `steps`.
+///
+/// Reversing a tower takes exactly num_blocks moves (every block's support
+/// changes, so each must move at least once, and moving each exactly once
+/// bottom-up succeeds). With fewer steps the formula is unsatisfiable —
+/// and, as the paper observes for bw_large.d, with a small unsatisfiable
+/// core, since the counting argument involves only a few fluents. With
+/// enough steps it is satisfiable and the model decodes into a plan.
+/// Equivalent to blocks_world() on the tower and its reversal.
+[[nodiscard]] Formula blocks_world_reversal(unsigned num_blocks,
+                                            unsigned steps);
+
+/// The minimal number of moves needed to reverse a tower of `num_blocks`.
+[[nodiscard]] constexpr unsigned blocks_world_min_steps(unsigned num_blocks) {
+  return num_blocks;
+}
+
+}  // namespace satproof::encode

@@ -1,0 +1,38 @@
+#include "src/encode/random_ksat.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace satproof::encode {
+
+Formula random_ksat(unsigned n, unsigned m, unsigned k, std::uint64_t seed) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("random_ksat: need 0 < k <= n");
+  }
+  util::Rng rng(seed);
+  Formula f(n);
+  std::vector<Var> vars(k);
+  std::vector<Lit> clause(k);
+  for (unsigned c = 0; c < m; ++c) {
+    for (unsigned i = 0; i < k; ++i) {
+      bool fresh = false;
+      while (!fresh) {
+        vars[i] = static_cast<Var>(rng.next_below(n));
+        fresh = true;
+        for (unsigned j = 0; j < i; ++j) {
+          if (vars[j] == vars[i]) {
+            fresh = false;
+            break;
+          }
+        }
+      }
+      clause[i] = Lit(vars[i], rng.next_bool());
+    }
+    f.add_clause(clause);
+  }
+  return f;
+}
+
+}  // namespace satproof::encode

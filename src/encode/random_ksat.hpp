@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/cnf/formula.hpp"
+
+namespace satproof::encode {
+
+/// Uniform random k-SAT: `m` clauses of `k` distinct variables each, signs
+/// fair coins. At clause/variable ratios above the phase transition
+/// (~4.27 for k = 3) instances are unsatisfiable with high probability —
+/// the property sweeps solve them and check whichever answer comes back
+/// (model verification for SAT, proof checking for UNSAT).
+[[nodiscard]] Formula random_ksat(unsigned n, unsigned m, unsigned k,
+                                  std::uint64_t seed);
+
+}  // namespace satproof::encode

@@ -1,0 +1,101 @@
+#include "src/encode/suite.hpp"
+
+#include "src/bmc/rotator.hpp"
+#include "src/bmc/unroll.hpp"
+#include "src/circuit/miter.hpp"
+#include "src/circuit/netlist.hpp"
+#include "src/circuit/words.hpp"
+#include "src/encode/coloring.hpp"
+#include "src/encode/fpga_routing.hpp"
+#include "src/encode/parity.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/planning.hpp"
+
+namespace satproof::encode {
+
+namespace {
+
+/// Equivalence miter of ripple-carry vs carry-select adders.
+Formula adder_miter(std::size_t width) {
+  circuit::Netlist n;
+  const circuit::Word a = circuit::input_word(n, width);
+  const circuit::Word b = circuit::input_word(n, width);
+  const auto rc = circuit::ripple_carry_adder(n, a, b);
+  const auto cs = circuit::carry_select_adder(n, a, b);
+  std::vector<circuit::Wire> outs_a = rc.sum;
+  outs_a.push_back(rc.carry_out);
+  std::vector<circuit::Wire> outs_b = cs.sum;
+  outs_b.push_back(cs.carry_out);
+  const circuit::Wire m = circuit::build_miter(n, outs_a, outs_b);
+  return circuit::miter_to_cnf(n, m);
+}
+
+/// Equivalence miter of the two multiplier implementations (XOR-rich, the
+/// longmult analog).
+Formula multiplier_miter(std::size_t width) {
+  circuit::Netlist n;
+  const circuit::Word a = circuit::input_word(n, width);
+  const circuit::Word b = circuit::input_word(n, width);
+  const circuit::Word m1 = circuit::array_multiplier(n, a, b);
+  const circuit::Word m2 = circuit::multiplier_commuted(n, a, b);
+  const circuit::Wire m = circuit::build_miter(n, m1, m2);
+  return circuit::miter_to_cnf(n, m);
+}
+
+/// BMC of the one-hot rotator: bad unreachable, UNSAT at every bound.
+Formula rotator_bmc(unsigned width, unsigned k) {
+  return bmc::unroll(bmc::make_rotator(width), k);
+}
+
+}  // namespace
+
+std::vector<NamedInstance> unsat_suite(SuiteScale scale) {
+  std::vector<NamedInstance> suite;
+
+  if (scale == SuiteScale::Small) {
+    suite.push_back({"bw_rand5", "AI planning",
+                     blocks_world_random(5, -1, 3301).formula, true});
+    suite.push_back({"fpga_route_9x4", "FPGA routing",
+                     fpga_routing(9, 4, 16, 7001), true});
+    suite.push_back({"miter_add8", "equivalence checking", adder_miter(8),
+                     true});
+    suite.push_back({"bmc_rotator4_k6", "bounded model checking",
+                     rotator_bmc(4, 6), true});
+    suite.push_back({"tseitin3x3", "parity", tseitin_torus(3, 3, 40499),
+                     true});
+    suite.push_back({"clique6_c5", "graph coloring", clique_coloring(6, 5),
+                     true});
+    suite.push_back({"php5", "pigeonhole", pigeonhole(5), true});
+    suite.push_back({"miter_mult3", "equivalence checking",
+                     multiplier_miter(3), true});
+    return suite;
+  }
+
+  // Standard scale: twelve rows ordered (like the paper's Table 1) roughly
+  // by solver runtime, with a hard tail.
+  suite.push_back({"bw_rand7", "AI planning",
+                   blocks_world_random(7, -1, 3301).formula, true});
+  suite.push_back({"miter_add18", "equivalence checking", adder_miter(18),
+                   true});
+  suite.push_back({"bw_rand8", "AI planning",
+                   blocks_world_random(8, -1, 9907).formula, true});
+  suite.push_back({"fpga_route_16x7", "FPGA routing",
+                   fpga_routing(16, 7, 24, 7001), true});
+  suite.push_back({"miter_mult5", "equivalence checking", multiplier_miter(5),
+                   true});
+  suite.push_back({"bmc_rotator8_k12", "bounded model checking",
+                   rotator_bmc(8, 12), true});
+  suite.push_back({"tseitin3x5", "parity", tseitin_torus(3, 5, 11027), true});
+  suite.push_back({"php8", "pigeonhole", pigeonhole(8), true});
+  suite.push_back({"miter_mult6", "equivalence checking", multiplier_miter(6),
+                   true});
+  suite.push_back({"clique9_c8", "graph coloring", clique_coloring(9, 8),
+                   true});
+  // The hard tail is excluded from the Table 3 iteration, mirroring the
+  // paper's omission of 6pipe/7pipe there.
+  suite.push_back({"tseitin4x5", "parity", tseitin_torus(4, 5, 40499), false});
+  suite.push_back({"php9", "pigeonhole", pigeonhole(9), false});
+  return suite;
+}
+
+}  // namespace satproof::encode

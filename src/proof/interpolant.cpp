@@ -1,0 +1,94 @@
+#include "src/proof/interpolant.hpp"
+
+#include <unordered_map>
+
+#include "src/checker/resolution.hpp"
+
+namespace satproof::proof {
+
+Interpolant mcmillan_interpolant(const Formula& f, const ProofDag& dag,
+                                 const std::vector<bool>& in_a) {
+  if (in_a.size() != f.num_clauses()) {
+    throw ProofError("mcmillan_interpolant: partition size mismatch");
+  }
+  if (dag.nodes.empty() || !dag.nodes.back().lits.empty()) {
+    throw ProofError(
+        "mcmillan_interpolant: the proof must end in the empty clause "
+        "(unconditional refutation)");
+  }
+
+  // Variable classification over the *whole* partition, not just the
+  // proof: A-local pivots use OR, everything else AND.
+  std::vector<bool> occurs_a(f.num_vars(), false);
+  std::vector<bool> occurs_b(f.num_vars(), false);
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    auto& occurs = in_a[id] ? occurs_a : occurs_b;
+    for (const Lit lit : f.clause(id)) occurs[lit.var()] = true;
+  }
+
+  Interpolant out;
+  circuit::Netlist& n = out.netlist;
+
+  // One input per global variable.
+  std::vector<circuit::Wire> var_wire(f.num_vars(), circuit::kInvalidWire);
+  for (Var v = 0; v < f.num_vars(); ++v) {
+    if (occurs_a[v] && occurs_b[v]) {
+      const circuit::Wire w = n.add_input();
+      var_wire[v] = w;
+      out.bindings.emplace_back(w, v);
+    }
+  }
+  const auto literal_wire = [&](Lit lit) {
+    const circuit::Wire w = var_wire[lit.var()];
+    return lit.negated() ? n.make_not(w) : w;
+  };
+
+  // Partial interpolant per proof node, in topological order.
+  std::unordered_map<ClauseId, circuit::Wire> itp;
+  std::unordered_map<ClauseId, const checker::SortedClause*> lits_of;
+  checker::ChainResolver chain;
+
+  for (const auto& node : dag.nodes) {
+    lits_of[node.id] = &node.lits;
+    if (node.sources.empty()) {
+      // Leaf.
+      if (node.id >= f.num_clauses()) {
+        throw ProofError("mcmillan_interpolant: leaf " +
+                         std::to_string(node.id) +
+                         " is not an original clause");
+      }
+      if (in_a[node.id]) {
+        std::vector<circuit::Wire> parts;
+        for (const Lit lit : node.lits) {
+          if (var_wire[lit.var()] != circuit::kInvalidWire) {
+            parts.push_back(literal_wire(lit));
+          }
+        }
+        itp[node.id] = n.reduce_or(parts);
+      } else {
+        itp[node.id] = n.constant(true);
+      }
+      continue;
+    }
+
+    // Derived node: replay the fold to recover each step's pivot.
+    chain.start(*lits_of.at(node.sources[0]));
+    circuit::Wire acc = itp.at(node.sources[0]);
+    for (std::size_t i = 1; i < node.sources.size(); ++i) {
+      const auto r = chain.step(*lits_of.at(node.sources[i]));
+      if (r.status != checker::ResolveStatus::Ok) {
+        throw ProofError("mcmillan_interpolant: invalid resolution in node " +
+                         std::to_string(node.id));
+      }
+      const circuit::Wire rhs = itp.at(node.sources[i]);
+      const bool a_local = occurs_a[r.pivot] && !occurs_b[r.pivot];
+      acc = a_local ? n.make_or(acc, rhs) : n.make_and(acc, rhs);
+    }
+    itp[node.id] = acc;
+  }
+
+  out.output = itp.at(dag.root_id);
+  return out;
+}
+
+}  // namespace satproof::proof

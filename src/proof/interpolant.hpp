@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+#include "src/proof/proof_dag.hpp"
+
+namespace satproof::proof {
+
+/// A Craig interpolant as a circuit over the shared (global) variables.
+struct Interpolant {
+  circuit::Netlist netlist;
+  circuit::Wire output = circuit::kInvalidWire;
+  /// One primary input per global variable: (input wire, CNF variable).
+  /// Feed these to circuit::tseitin_into to conjoin the interpolant with
+  /// CNF constraints over the same variables.
+  std::vector<std::pair<circuit::Wire, Var>> bindings;
+};
+
+/// McMillan's interpolation system (CAV 2003 — the landmark application of
+/// exactly the resolution proofs this library checks): given a refutation
+/// of A ∧ B, derive a formula I over the shared variables with
+///
+///     A implies I,   I ∧ B unsatisfiable,   vars(I) ⊆ vars(A) ∩ vars(B).
+///
+/// `in_a[id]` says whether original clause `id` belongs to the A part.
+/// Walks the proof DAG once: an A-leaf contributes the disjunction of its
+/// global literals, a B-leaf contributes true, and each resolution step
+/// combines partial interpolants with OR when the pivot is A-local and
+/// AND otherwise. The result arrives as a netlist, so its defining
+/// properties are themselves checkable with the solver (the tests do
+/// exactly that).
+///
+/// The DAG must end in the empty clause (an unconditional refutation);
+/// throws ProofError otherwise or when `in_a` has the wrong size.
+[[nodiscard]] Interpolant mcmillan_interpolant(const Formula& f,
+                                               const ProofDag& dag,
+                                               const std::vector<bool>& in_a);
+
+}  // namespace satproof::proof

@@ -1,0 +1,255 @@
+#include "src/proof/proof_dag.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "src/checker/common.hpp"
+
+namespace satproof::proof {
+
+namespace {
+
+/// DFS-based extraction mirroring the depth-first checker's recursive
+/// build, with per-node bookkeeping (literals, depth, topological order).
+class Extractor {
+ public:
+  Extractor(const Formula& f, trace::TraceReader& reader)
+      : formula_(&f), reader_(&reader), level0_(reader.num_vars()) {}
+
+  ProofDag run() {
+    checker::check_header(*formula_, reader_->num_vars(),
+                          reader_->num_original());
+    load_trace();
+    if (!final_id_.has_value()) {
+      throw ProofError(
+          "trace has no final conflicting clause; no proof to extract");
+    }
+
+    ProofDag dag;
+    dag.num_original = reader_->num_original();
+
+    // Build everything reachable from the final conflict, then replay the
+    // empty-clause derivation and record it as the root node.
+    build(*final_id_);
+
+    ProofDag::Node root;
+    root.sources.push_back(*final_id_);
+    checker::CheckStats scratch_stats;
+    const checker::ClauseFetcher fetch =
+        [this, &root](ClauseId id) -> const checker::SortedClause& {
+      const checker::SortedClause& c = build(id);
+      // derive_final_clause fetches the final clause first, then one
+      // antecedent per step, in order — exactly the root's source list.
+      if (!root.sources.empty() && root.sources.back() != id) {
+        root.sources.push_back(id);
+      }
+      return c;
+    };
+    checker::SortedClause remaining =
+        checker::derive_final_clause(*final_id_, fetch, level0_,
+                                     scratch_stats);
+    if (!remaining.empty()) {
+      checker::validate_assumption_clause(remaining, level0_);
+    }
+    root.lits = std::move(remaining);
+
+    root.id = next_free_id();
+    root.depth = 0;
+    for (const ClauseId s : root.sources) {
+      root.depth = std::max(root.depth, depth_of(s) + 1);
+    }
+
+    // Emit nodes in topological (build) order, root last.
+    dag.nodes.reserve(order_.size() + 1);
+    for (const ClauseId id : order_) {
+      ProofDag::Node n;
+      n.id = id;
+      n.lits = memo_.at(id);
+      if (const auto it = derivations_.find(id); it != derivations_.end()) {
+        n.sources = it->second;
+      }
+      n.depth = depth_.at(id);
+      dag.nodes.push_back(std::move(n));
+    }
+    dag.root_id = root.id;
+    dag.nodes.push_back(std::move(root));
+    return dag;
+  }
+
+ private:
+  [[nodiscard]] ClauseId num_original() const {
+    return reader_->num_original();
+  }
+
+  [[nodiscard]] ClauseId next_free_id() const {
+    ClauseId next = num_original();
+    for (const auto& [id, sources] : derivations_) {
+      next = std::max(next, id + 1);
+    }
+    return next;
+  }
+
+  [[nodiscard]] unsigned depth_of(ClauseId id) const { return depth_.at(id); }
+
+  void load_trace() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    while (!ended && reader_->next(rec)) {
+      switch (rec.kind) {
+        case trace::RecordKind::Derivation: {
+          if (rec.id < num_original() || rec.sources.size() < 2) {
+            throw ProofError("malformed derivation record " +
+                             std::to_string(rec.id));
+          }
+          for (const ClauseId s : rec.sources) {
+            if (s >= rec.id) {
+              throw ProofError("derivation " + std::to_string(rec.id) +
+                               " references a non-preceding source");
+            }
+          }
+          if (!derivations_.emplace(rec.id, std::move(rec.sources)).second) {
+            throw ProofError("clause " + std::to_string(rec.id) +
+                             " derived twice");
+          }
+          break;
+        }
+        case trace::RecordKind::FinalConflict:
+          final_id_ = rec.id;
+          break;
+        case trace::RecordKind::Level0:
+          level0_.add(rec.var, rec.value, rec.antecedent);
+          break;
+        case trace::RecordKind::Assumption:
+          level0_.add_assumption(rec.var, rec.value);
+          break;
+        case trace::RecordKind::End:
+          ended = true;
+          break;
+      }
+    }
+    if (!ended) throw ProofError("trace truncated");
+  }
+
+  const checker::SortedClause& build(ClauseId id) {
+    if (const auto it = memo_.find(id); it != memo_.end()) return it->second;
+    if (id < num_original()) {
+      checker::SortedClause canon =
+          checker::canonicalize(formula_->clause(id));
+      if (checker::is_tautology(canon)) {
+        throw ProofError("original clause " + std::to_string(id) +
+                         " is tautological");
+      }
+      depth_[id] = 0;
+      order_.push_back(id);
+      return memo_.emplace(id, std::move(canon)).first->second;
+    }
+
+    struct Frame {
+      ClauseId id;
+      const std::vector<ClauseId>* sources;
+      std::size_t scan = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({id, &sources_of(id)});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      bool descended = false;
+      while (f.scan < f.sources->size()) {
+        const ClauseId s = (*f.sources)[f.scan];
+        if (memo_.contains(s) || s < num_original()) {
+          if (!memo_.contains(s)) build(s);  // original leaf
+          ++f.scan;
+          continue;
+        }
+        stack.push_back({s, &sources_of(s)});
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      fold(f.id, *f.sources);
+      stack.pop_back();
+    }
+    return memo_.at(id);
+  }
+
+  const std::vector<ClauseId>& sources_of(ClauseId id) {
+    const auto it = derivations_.find(id);
+    if (it == derivations_.end()) {
+      throw ProofError("clause " + std::to_string(id) +
+                       " is referenced but never derived");
+    }
+    return it->second;
+  }
+
+  void fold(ClauseId id, const std::vector<ClauseId>& sources) {
+    chain_.start(memo_.at(sources[0]));
+    unsigned depth = depth_.at(sources[0]);
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+      const auto r = chain_.step(memo_.at(sources[i]));
+      if (r.status != checker::ResolveStatus::Ok) {
+        throw ProofError("invalid resolution while deriving clause " +
+                         std::to_string(id));
+      }
+      depth = std::max(depth, depth_.at(sources[i]));
+    }
+    checker::SortedClause derived = chain_.take();
+    std::sort(derived.begin(), derived.end());
+    memo_.emplace(id, std::move(derived));
+    depth_[id] = depth + 1;
+    order_.push_back(id);
+  }
+
+  const Formula* formula_;
+  trace::TraceReader* reader_;
+  checker::Level0Table level0_;
+  std::optional<ClauseId> final_id_;
+  std::unordered_map<ClauseId, std::vector<ClauseId>> derivations_;
+  std::unordered_map<ClauseId, checker::SortedClause> memo_;
+  std::unordered_map<ClauseId, unsigned> depth_;
+  std::vector<ClauseId> order_;
+  checker::ChainResolver chain_;
+};
+
+}  // namespace
+
+std::size_t ProofDag::index_of(ClauseId id) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id == id) return i;
+  }
+  return ~std::size_t{0};
+}
+
+ProofStats compute_stats(const ProofDag& dag) {
+  ProofStats st;
+  std::size_t derived_width_sum = 0;
+  for (const auto& n : dag.nodes) {
+    st.max_clause_width = std::max(st.max_clause_width, n.lits.size());
+    st.depth = std::max(st.depth, n.depth);
+    if (n.sources.empty()) {
+      ++st.leaves;
+    } else {
+      ++st.derived;
+      st.resolutions += n.sources.size() - 1;
+      derived_width_sum += n.lits.size();
+    }
+  }
+  st.avg_clause_width =
+      st.derived == 0 ? 0.0
+                      : static_cast<double>(derived_width_sum) /
+                            static_cast<double>(st.derived);
+  return st;
+}
+
+ProofDag extract_proof(const Formula& f, trace::TraceReader& reader) {
+  try {
+    return Extractor(f, reader).run();
+  } catch (const checker::CheckFailure& e) {
+    throw ProofError(e.what());
+  } catch (const std::runtime_error& e) {
+    throw ProofError(e.what());
+  }
+}
+
+}  // namespace satproof::proof

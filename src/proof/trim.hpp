@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/cnf/formula.hpp"
+#include "src/trace/events.hpp"
+
+namespace satproof::proof {
+
+/// Trimming statistics.
+struct TrimStats {
+  std::uint64_t derivations_before = 0;
+  std::uint64_t derivations_after = 0;
+};
+
+/// Rewrites a trace keeping only the derivations the proof actually uses.
+///
+/// The paper observes that the depth-first checker builds just 19-90% of
+/// the learned clauses; the rest of the trace is dead weight for any
+/// downstream consumer (archival, re-checking, core extraction,
+/// interpolation). trim_trace() performs the same backward reachability
+/// from the final conflicting clause and the final-trail antecedents, then
+/// re-emits the trace with unreachable derivations dropped — clause IDs
+/// unchanged, so the trimmed trace checks against the same formula with
+/// the same tools. (This is the service drat-trim later provided for
+/// DRUP/DRAT proofs.)
+///
+/// Trimming is syntactic: it does not validate resolutions. Run a checker
+/// on the output as usual. Throws checker::CheckFailure (via
+/// std::runtime_error) on structurally malformed input.
+TrimStats trim_trace(trace::TraceReader& in, trace::TraceWriter& out);
+
+}  // namespace satproof::proof

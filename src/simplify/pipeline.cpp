@@ -1,0 +1,43 @@
+#include "src/simplify/pipeline.hpp"
+
+#include "src/solver/solver.hpp"
+
+namespace satproof::simplify {
+
+SimplifiedSolveResult solve_simplified(const Formula& f,
+                                       const solver::SolverOptions& solver_options,
+                                       const PreprocessOptions& preprocess_options,
+                                       trace::TraceWriter* writer) {
+  SimplifiedSolveResult out;
+
+  PreprocessResult pre = preprocess(f, preprocess_options, writer);
+  out.preprocess_stats = pre.stats;
+  if (pre.proved_unsat) {
+    // The trace (if any) is already complete: derivations ending in the
+    // empty clause plus the final-conflict section.
+    out.result = solver::SolveResult::Unsatisfiable;
+    return out;
+  }
+
+  solver::Solver s(solver_options);
+  s.begin_external_ids(f.num_clauses());
+  // The solver must know every original variable so SAT models cover the
+  // eliminated ones too (reconstruction overwrites them as needed).
+  while (s.num_vars() < f.num_vars()) (void)s.new_var();
+  for (const auto& clause : pre.clauses) {
+    s.add_clause_with_id(clause.lits, clause.id);
+  }
+  // IDs of derived-then-discarded preprocessor clauses are still taken.
+  s.reserve_clause_ids(pre.next_id);
+  if (writer != nullptr) s.set_trace_writer(writer);
+
+  out.result = s.solve();
+  out.solver_stats = s.stats();
+  if (out.result == solver::SolveResult::Satisfiable) {
+    out.model = s.model();
+    pre.reconstruct_model(out.model);
+  }
+  return out;
+}
+
+}  // namespace satproof::simplify

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/cnf/model.hpp"
+#include "src/simplify/preprocessor.hpp"
+#include "src/solver/options.hpp"
+
+namespace satproof::simplify {
+
+/// Outcome of the preprocess-then-solve pipeline.
+struct SimplifiedSolveResult {
+  solver::SolveResult result = solver::SolveResult::Unknown;
+  /// On Satisfiable: a model of the *original* formula (eliminated
+  /// variables reconstructed).
+  Model model;
+  PreprocessStats preprocess_stats;
+  /// Search statistics (all zero when preprocessing alone settled it).
+  solver::SolverStats solver_stats;
+};
+
+/// Preprocesses `f` and solves the simplified problem, producing — when a
+/// trace writer is attached — a single seamless trace that checks against
+/// the *original* formula: preprocessing resolvents and learned clauses
+/// are both just derivations to the checker. On SAT, the model is
+/// reconstructed through the eliminations so it satisfies the original
+/// formula.
+[[nodiscard]] SimplifiedSolveResult solve_simplified(
+    const Formula& f, const solver::SolverOptions& solver_options = {},
+    const PreprocessOptions& preprocess_options = {},
+    trace::TraceWriter* writer = nullptr);
+
+}  // namespace satproof::simplify

@@ -1,0 +1,362 @@
+#include "src/simplify/preprocessor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace satproof::simplify {
+
+namespace {
+
+/// Working clause representation: canonical (sorted, duplicate-free)
+/// literals. Clauses are immutable once created; strengthening replaces a
+/// clause with a freshly derived one, which is what keeps the trace story
+/// straight (every clause body belongs to exactly one ID forever).
+struct PClause {
+  ClauseId id;
+  std::vector<Lit> lits;
+  bool live = true;
+};
+
+class Engine {
+ public:
+  Engine(const Formula& f, const PreprocessOptions& options,
+         trace::TraceWriter* writer)
+      : formula_(&f), options_(options), writer_(writer) {}
+
+  PreprocessResult run() {
+    if (writer_ != nullptr) {
+      writer_->begin(formula_->num_vars(), formula_->num_clauses());
+    }
+    result_.num_vars = formula_->num_vars();
+    next_id_ = formula_->num_clauses();
+    load();
+
+    for (unsigned round = 0; round < options_.rounds && !proved_unsat_;
+         ++round) {
+      bool changed = false;
+      if (options_.enable_subsumption || options_.enable_self_subsumption) {
+        changed = subsumption_pass() || changed;
+      }
+      if (proved_unsat_) break;
+      if (options_.enable_bve) changed = bve_pass() || changed;
+      if (!changed) break;
+    }
+
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------------- plumbing
+
+  void load() {
+    occur_.assign(2 * static_cast<std::size_t>(formula_->num_vars()), {});
+    for (ClauseId id = 0; id < formula_->num_clauses(); ++id) {
+      const auto span = formula_->clause(id);
+      std::vector<Lit> canon(span.begin(), span.end());
+      std::sort(canon.begin(), canon.end());
+      canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+      bool tautology = false;
+      for (std::size_t i = 0; i + 1 < canon.size(); ++i) {
+        if (canon[i].var() == canon[i + 1].var()) {
+          tautology = true;
+          break;
+        }
+      }
+      // Tautologies are inert; leaving them out of the active set is a
+      // plain removal and needs no justification.
+      if (tautology) continue;
+      add_clause(id, std::move(canon));
+    }
+  }
+
+  /// Registers a clause body under `id` and indexes its occurrences.
+  std::size_t add_clause(ClauseId id, std::vector<Lit> lits) {
+    const std::size_t index = clauses_.size();
+    for (const Lit lit : lits) occur_[lit.code()].push_back(index);
+    clauses_.push_back({id, std::move(lits), true});
+    return index;
+  }
+
+  /// Emits the derivation of a fresh clause with the given sources and
+  /// registers it. An empty derived clause completes the proof on the
+  /// spot.
+  std::size_t derive_clause(std::vector<Lit> lits,
+                            std::initializer_list<ClauseId> sources) {
+    const ClauseId id = next_id_++;
+    if (writer_ != nullptr) {
+      const std::vector<ClauseId> src(sources);
+      writer_->derivation(id, src);
+    }
+    if (lits.empty()) {
+      proved_unsat_ = true;
+      if (writer_ != nullptr) {
+        writer_->final_conflict(id);
+        writer_->end();
+      }
+    }
+    return add_clause(id, std::move(lits));
+  }
+
+  // ------------------------------------- subsumption / self-subsumption
+
+  /// True iff every literal of `small` occurs in `big` (both canonical).
+  static bool subset_of(const std::vector<Lit>& small,
+                        const std::vector<Lit>& big) {
+    std::size_t j = 0;
+    for (const Lit lit : small) {
+      while (j < big.size() && big[j] < lit) ++j;
+      if (j == big.size() || big[j] != lit) return false;
+      ++j;
+    }
+    return true;
+  }
+
+  /// The literal of `c` with the shortest occurrence list (fewest
+  /// candidates to scan).
+  [[nodiscard]] Lit rarest_literal(const PClause& c) const {
+    Lit best = c.lits[0];
+    for (const Lit lit : c.lits) {
+      if (occur_[lit.code()].size() < occur_[best.code()].size()) best = lit;
+    }
+    return best;
+  }
+
+  bool subsumption_pass() {
+    bool changed = false;
+    // Process in increasing size order: small clauses subsume most.
+    std::vector<std::size_t> order;
+    order.reserve(clauses_.size());
+    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+      if (clauses_[i].live) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return clauses_[a].lits.size() < clauses_[b].lits.size();
+    });
+
+    for (const std::size_t di : order) {
+      if (!clauses_[di].live || proved_unsat_) continue;
+      if (clauses_[di].lits.empty()) continue;
+
+      if (options_.enable_subsumption) {
+        const Lit probe = rarest_literal(clauses_[di]);
+        // Copy: strengthening appends to occurrence lists mid-scan.
+        const std::vector<std::size_t> candidates = occur_[probe.code()];
+        for (const std::size_t ci : candidates) {
+          if (ci == di || !clauses_[ci].live) continue;
+          const PClause& d = clauses_[di];
+          const PClause& c = clauses_[ci];
+          if (c.lits.size() < d.lits.size()) continue;
+          if (subset_of(d.lits, c.lits)) {
+            clauses_[ci].live = false;
+            ++result_.stats.subsumed;
+            changed = true;
+          }
+        }
+      }
+
+      if (options_.enable_self_subsumption) {
+        // For each literal l of D: clauses containing ~l whose remainder
+        // is a superset of D \ {l} lose ~l by resolving with D.
+        const std::vector<Lit> d_lits = clauses_[di].lits;  // copy: stable
+        for (const Lit l : d_lits) {
+          if (!clauses_[di].live || proved_unsat_) break;
+          std::vector<Lit> d_rest;
+          d_rest.reserve(d_lits.size() - 1);
+          for (const Lit x : d_lits) {
+            if (x != l) d_rest.push_back(x);
+          }
+          const std::vector<std::size_t> candidates = occur_[(~l).code()];
+          for (const std::size_t ci : candidates) {
+            if (!clauses_[ci].live || ci == di || proved_unsat_) continue;
+            const PClause& c = clauses_[ci];
+            if (c.lits.size() < d_lits.size()) continue;
+            if (!subset_of(d_rest, c.lits)) continue;
+            // Strengthen C: the resolvent of C and D on var(l) is exactly
+            // C without ~l.
+            std::vector<Lit> strengthened;
+            strengthened.reserve(c.lits.size() - 1);
+            for (const Lit x : c.lits) {
+              if (x != ~l) strengthened.push_back(x);
+            }
+            const ClauseId c_id = c.id;
+            const ClauseId d_id = clauses_[di].id;
+            clauses_[ci].live = false;
+            derive_clause(std::move(strengthened), {c_id, d_id});
+            ++result_.stats.strengthened;
+            changed = true;
+            if (proved_unsat_) return changed;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  // --------------------------------------------- bounded var elimination
+
+  /// Collects the live clauses containing `lit`, compacting the
+  /// occurrence list on the way.
+  std::vector<std::size_t> live_occurrences(Lit lit) {
+    auto& list = occur_[lit.code()];
+    std::vector<std::size_t> out;
+    std::size_t j = 0;
+    for (const std::size_t ci : list) {
+      if (clauses_[ci].live) {
+        list[j++] = ci;
+        out.push_back(ci);
+      }
+    }
+    list.resize(j);
+    return out;
+  }
+
+  /// Resolves `p` and `n` on `v`; returns false when the resolvent is
+  /// tautological (a second clashing variable).
+  static bool resolve_on(const std::vector<Lit>& p, const std::vector<Lit>& n,
+                         Var v, std::vector<Lit>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < p.size() || j < n.size()) {
+      Lit next;
+      if (j >= n.size() || (i < p.size() && p[i] < n[j])) {
+        next = p[i++];
+      } else if (i >= p.size() || n[j] < p[i]) {
+        next = n[j++];
+      } else {
+        next = p[i++];
+        ++j;
+      }
+      if (next.var() == v) continue;
+      if (!out.empty() && out.back().var() == next.var()) {
+        if (out.back() != next) return false;  // tautological
+        continue;                              // duplicate
+      }
+      out.push_back(next);
+    }
+    return true;
+  }
+
+  bool bve_pass() {
+    bool changed = false;
+    for (Var v = 0; v < formula_->num_vars() && !proved_unsat_; ++v) {
+      const std::vector<std::size_t> pos = live_occurrences(Lit::pos(v));
+      const std::vector<std::size_t> neg = live_occurrences(Lit::neg(v));
+      if (pos.empty() && neg.empty()) continue;
+      if (pos.size() + neg.size() > options_.bve_max_occurrences) continue;
+
+      // Compute the non-tautological resolvents (pure literals have none).
+      std::vector<std::vector<Lit>> resolvents;
+      std::vector<std::pair<ClauseId, ClauseId>> sources;
+      std::vector<Lit> scratch;
+      bool too_many = false;
+      for (const std::size_t pi : pos) {
+        for (const std::size_t ni : neg) {
+          if (!resolve_on(clauses_[pi].lits, clauses_[ni].lits, v, scratch)) {
+            continue;
+          }
+          resolvents.push_back(scratch);
+          sources.emplace_back(clauses_[pi].id, clauses_[ni].id);
+          if (resolvents.size() >
+              pos.size() + neg.size() +
+                  static_cast<std::size_t>(
+                      std::max(0, options_.bve_max_growth))) {
+            too_many = true;
+            break;
+          }
+        }
+        if (too_many) break;
+      }
+      if (too_many) continue;
+
+      // Eliminate: record the removed clauses for model reconstruction,
+      // then swap in the resolvents.
+      PreprocessResult::Elimination elim;
+      elim.var = v;
+      for (const std::size_t ci : pos) {
+        elim.removed_clauses.push_back(clauses_[ci].lits);
+        clauses_[ci].live = false;
+      }
+      for (const std::size_t ci : neg) {
+        elim.removed_clauses.push_back(clauses_[ci].lits);
+        clauses_[ci].live = false;
+      }
+      result_.eliminations.push_back(std::move(elim));
+      result_.stats.clauses_removed += pos.size() + neg.size();
+      ++result_.stats.eliminated_vars;
+      changed = true;
+
+      for (std::size_t r = 0; r < resolvents.size(); ++r) {
+        derive_clause(std::move(resolvents[r]),
+                      {sources[r].first, sources[r].second});
+        ++result_.stats.resolvents_added;
+        if (proved_unsat_) break;
+      }
+    }
+    return changed;
+  }
+
+  // --------------------------------------------------------------- output
+
+  void finish() {
+    result_.proved_unsat = proved_unsat_;
+    result_.next_id = next_id_;
+    if (proved_unsat_) return;
+    for (const PClause& c : clauses_) {
+      if (c.live) result_.clauses.push_back({c.id, c.lits});
+    }
+    // The solver requires strictly increasing IDs.
+    std::sort(result_.clauses.begin(), result_.clauses.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+  }
+
+  const Formula* formula_;
+  PreprocessOptions options_;
+  trace::TraceWriter* writer_;
+
+  std::vector<PClause> clauses_;
+  std::vector<std::vector<std::size_t>> occur_;  // by Lit::code()
+  ClauseId next_id_ = 0;
+  bool proved_unsat_ = false;
+  PreprocessResult result_;
+};
+
+}  // namespace
+
+void PreprocessResult::reconstruct_model(Model& model) const {
+  if (model.size() < num_vars) model.resize(num_vars, LBool::Undef);
+  for (auto it = eliminations.rbegin(); it != eliminations.rend(); ++it) {
+    bool need_true = false, need_false = false;
+    for (const auto& clause : it->removed_clauses) {
+      bool satisfied_without_v = false;
+      bool has_pos = false, has_neg = false;
+      for (const Lit lit : clause) {
+        if (lit.var() == it->var) {
+          (lit.negated() ? has_neg : has_pos) = true;
+        } else if (value_of(lit, model) == LBool::True) {
+          satisfied_without_v = true;
+          break;
+        }
+      }
+      if (satisfied_without_v) continue;
+      if (has_pos) need_true = true;
+      if (has_neg) need_false = true;
+    }
+    if (need_true && need_false) {
+      // Both polarities demanded: impossible for a correct elimination (the
+      // two demanding clauses' resolvent would be falsified, yet it was
+      // added to the formula the model satisfies).
+      throw std::logic_error(
+          "reconstruct_model: inconsistent elimination record");
+    }
+    model[it->var] = need_true ? LBool::True : LBool::False;
+  }
+}
+
+PreprocessResult preprocess(const Formula& f, const PreprocessOptions& options,
+                            trace::TraceWriter* writer) {
+  Engine engine(f, options, writer);
+  return engine.run();
+}
+
+}  // namespace satproof::simplify

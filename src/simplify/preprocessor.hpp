@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cnf/formula.hpp"
+#include "src/cnf/model.hpp"
+#include "src/trace/events.hpp"
+
+namespace satproof::simplify {
+
+/// Preprocessing knobs (SatELite-style, Een & Biere 2005 — the
+/// simplification layer the zchaff generation of solvers grew next).
+struct PreprocessOptions {
+  /// Remove clauses subsumed by another clause.
+  bool enable_subsumption = true;
+  /// Strengthen clauses by self-subsuming resolution (each strengthening
+  /// is one recorded resolution).
+  bool enable_self_subsumption = true;
+  /// Eliminate variables by resolution when the resolvent set is no larger
+  /// than the clauses it replaces (each resolvent is one recorded
+  /// resolution).
+  bool enable_bve = true;
+  /// Do not attempt to eliminate variables occurring more often than this.
+  std::size_t bve_max_occurrences = 16;
+  /// Allow the clause count to grow by this much per elimination.
+  int bve_max_growth = 0;
+  /// Simplification rounds (each round: subsumption, strengthening, BVE).
+  unsigned rounds = 3;
+};
+
+/// Preprocessing counters.
+struct PreprocessStats {
+  std::uint64_t subsumed = 0;             ///< clauses removed by subsumption
+  std::uint64_t strengthened = 0;         ///< literals removed by self-subsumption
+  std::uint64_t eliminated_vars = 0;      ///< variables eliminated by BVE
+  std::uint64_t resolvents_added = 0;     ///< BVE resolvents kept
+  std::uint64_t clauses_removed = 0;      ///< clauses dropped by BVE
+};
+
+/// The preprocessed problem.
+///
+/// Every derived clause (strengthened clause or BVE resolvent) carries a
+/// fresh ID whose derivation record was emitted to the trace writer, so an
+/// UNSAT run of the solver on `clauses` produces a trace that checks
+/// against the *original* formula unchanged: the checkers cannot tell
+/// preprocessing and search apart — both just derive clauses by resolution.
+/// (Clause *removals* need no justification: a proof from a subset of the
+/// derivable clauses is a proof from the original.)
+struct PreprocessResult {
+  /// Active clauses after simplification: (ID, literals).
+  struct ActiveClause {
+    ClauseId id;
+    std::vector<Lit> lits;
+  };
+  std::vector<ActiveClause> clauses;
+
+  /// First ID the solver may use for learned clauses.
+  ClauseId next_id = 0;
+
+  /// Number of variables (unchanged from the input formula).
+  Var num_vars = 0;
+
+  /// True when preprocessing alone derived the empty clause; the trace is
+  /// already complete (final conflict emitted) and the formula is proven
+  /// unsatisfiable.
+  bool proved_unsat = false;
+
+  PreprocessStats stats;
+
+  /// Witness-reconstruction stack for BVE (Een & Biere): eliminated
+  /// variables with the clauses that mentioned them, in elimination order.
+  struct Elimination {
+    Var var;
+    std::vector<std::vector<Lit>> removed_clauses;
+  };
+  std::vector<Elimination> eliminations;
+
+  /// Extends a model of the preprocessed clauses to a model of the
+  /// original formula by assigning each eliminated variable (in reverse
+  /// elimination order) the value its removed clauses require.
+  void reconstruct_model(Model& model) const;
+};
+
+/// Runs the preprocessor on `f`. When `writer` is non-null, begin() is
+/// emitted (declaring f.num_clauses() originals) and every derived clause's
+/// resolution is recorded; on proved_unsat the final-conflict section is
+/// emitted too, completing the trace. The caller then feeds the active
+/// clauses to a solver in external-ID mode with the same writer (see
+/// simplify::solve_simplified for the packaged pipeline).
+[[nodiscard]] PreprocessResult preprocess(const Formula& f,
+                                          const PreprocessOptions& options,
+                                          trace::TraceWriter* writer);
+
+}  // namespace satproof::simplify

@@ -1,0 +1,46 @@
+#include "src/solver/clause_db.hpp"
+
+namespace satproof::solver {
+
+ClauseSlot ClauseDb::alloc(std::span<const Lit> lits, ClauseId id,
+                           bool learned) {
+  ClauseSlot slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    slot = static_cast<ClauseSlot>(slots_.size());
+    slots_.emplace_back();
+  }
+  DbClause& c = slots_[slot];
+  c.id = id;
+  c.activity = 0.0f;
+  c.learned = learned;
+  c.live = true;
+  c.lits.assign(lits.begin(), lits.end());
+  if (learned) ++num_learned_;
+  mem_.add(util::clause_footprint_bytes(lits.size()));
+  return slot;
+}
+
+void ClauseDb::free(ClauseSlot slot) {
+  DbClause& c = slots_[slot];
+  mem_.remove(util::clause_footprint_bytes(c.lits.size()));
+  if (c.learned) --num_learned_;
+  c.live = false;
+  c.id = kInvalidClauseId;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+  free_list_.push_back(slot);
+}
+
+std::vector<ClauseSlot> ClauseDb::live_slots() const {
+  std::vector<ClauseSlot> out;
+  out.reserve(slots_.size());
+  for (ClauseSlot s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].live) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace satproof::solver

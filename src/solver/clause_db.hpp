@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/cnf/types.hpp"
+#include "src/util/mem_tracker.hpp"
+
+namespace satproof::solver {
+
+/// Index of a clause inside the ClauseDb. Slots are recycled after
+/// deletion, unlike ClauseIds, which are unique forever (the trace refers
+/// to IDs, never slots).
+using ClauseSlot = std::uint32_t;
+inline constexpr ClauseSlot kInvalidSlot =
+    std::numeric_limits<ClauseSlot>::max();
+
+/// A clause as stored by the solver. Literal order is mutable (watched
+/// literals live at positions 0 and 1); the clause-as-set is what the
+/// trace's ID refers to.
+struct DbClause {
+  ClauseId id = kInvalidClauseId;
+  float activity = 0.0f;
+  bool learned = false;
+  bool live = false;
+  std::vector<Lit> lits;
+};
+
+/// The solver's clause store: original clauses first, then learned clauses,
+/// with slot recycling on deletion and byte accounting for the Table 1/2
+/// peak-memory figures.
+class ClauseDb {
+ public:
+  /// Stores a clause and returns its slot. The caller owns ID assignment.
+  ClauseSlot alloc(std::span<const Lit> lits, ClauseId id, bool learned);
+
+  /// Releases a clause's slot. The ID is retired, never reused.
+  void free(ClauseSlot slot);
+
+  /// Access by slot; the slot must be live.
+  [[nodiscard]] DbClause& operator[](ClauseSlot slot) { return slots_[slot]; }
+  [[nodiscard]] const DbClause& operator[](ClauseSlot slot) const {
+    return slots_[slot];
+  }
+
+  /// Number of live learned clauses.
+  [[nodiscard]] std::size_t num_learned() const { return num_learned_; }
+
+  /// Slots currently in use (live clauses only).
+  [[nodiscard]] std::vector<ClauseSlot> live_slots() const;
+
+  /// Byte accounting (peak feeds SolverStats::peak_clause_bytes).
+  [[nodiscard]] const util::MemTracker& mem() const { return mem_; }
+
+ private:
+  std::vector<DbClause> slots_;
+  std::vector<ClauseSlot> free_list_;
+  std::size_t num_learned_ = 0;
+  util::MemTracker mem_;
+};
+
+}  // namespace satproof::solver

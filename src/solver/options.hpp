@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace satproof::solver {
+
+/// Tuning knobs of the CDCL engine. Defaults approximate the zchaff
+/// configuration the paper benchmarks ("in all experiments zchaff uses
+/// default parameters").
+struct SolverOptions {
+  /// Variable-activity decay applied once per conflict (VSIDS).
+  double var_decay = 0.95;
+
+  /// Clause-activity decay applied once per conflict; drives learned-clause
+  /// deletion order.
+  double clause_decay = 0.999;
+
+  /// Conflicts before the first restart. Restarts help on hard instances;
+  /// the paper (Section 2.2) notes the restart period must *grow* for the
+  /// termination argument to hold, hence the geometric schedule below.
+  std::uint64_t restart_first = 100;
+
+  /// Geometric growth factor of the restart interval (> 1 for termination).
+  double restart_inc = 1.5;
+
+  /// Master switch for restarts.
+  bool enable_restarts = true;
+
+  /// Master switch for learned-clause deletion. The paper (Section 2.1)
+  /// stresses that deletion never compromises completeness as long as
+  /// antecedents of currently assigned variables are kept; the engine
+  /// enforces exactly that via lock checking.
+  bool enable_clause_deletion = true;
+
+  /// Learned-clause limit starts at max(num_clauses * this, 4000) and grows
+  /// geometrically by `learned_growth` at each deletion round.
+  double learned_size_factor = 1.0 / 3.0;
+  double learned_growth = 1.1;
+
+  /// Resolve away decision-level-0 literals from learned clauses using
+  /// their antecedents (extra resolutions are recorded in the trace, so the
+  /// checker can still replay the clause exactly). Keeps learned clauses
+  /// shorter; on by default, matching zchaff.
+  bool eliminate_level0_lits = true;
+
+  /// Conflict-clause minimization: drop a learned literal whose antecedent
+  /// is subsumed by the remaining clause. Each drop is one extra recorded
+  /// resolution, so minimized proofs stay checkable. Off by default —
+  /// zchaff (2003) did not minimize; bench/ablation_minimization measures
+  /// the effect (a post-paper CDCL refinement, MiniSat 1.13 era).
+  bool minimize_learned = false;
+
+  /// Restart schedule: geometric (zchaff-style, the paper's termination
+  /// argument) or the Luby sequence (reluctant doubling) scaled by
+  /// `restart_first`. Luby restarts do not grow monotonically, so the
+  /// termination argument of Section 2.2 does not apply to them — they are
+  /// provided as the common modern alternative.
+  enum class RestartSchedule : std::uint8_t { Geometric, Luby };
+  RestartSchedule restart_schedule = RestartSchedule::Geometric;
+
+  /// Probability of a random decision (0 disables). Useful to diversify
+  /// the property-test sweeps; zchaff's default has none.
+  double random_decision_freq = 0.0;
+
+  /// Seed for the engine's tie-breaking PRNG.
+  std::uint64_t random_seed = 91648253;
+
+  /// Give up (return SolveResult::Unknown) after this many conflicts;
+  /// 0 means no budget.
+  std::uint64_t conflict_budget = 0;
+
+  /// Initial saved phase assigned to fresh variables (zchaff branched to
+  /// false first).
+  bool default_phase = false;
+};
+
+/// Counters exposed after (and during) solving; the raw material of the
+/// paper's Table 1.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t level0_resolutions = 0;  ///< extra resolutions for level-0 elim
+  std::uint64_t minimized_literals = 0;  ///< literals removed by minimization
+  std::uint64_t max_decision_level = 0;
+  /// Peak bytes held in the clause database, on the same accounting scale
+  /// as the checkers' peak-memory figures (util::clause_footprint_bytes).
+  std::size_t peak_clause_bytes = 0;
+};
+
+/// Outcome of Solver::solve().
+enum class SolveResult : std::uint8_t {
+  Satisfiable,    ///< a model is available via Solver::model()
+  Unsatisfiable,  ///< a resolution trace was emitted (if a writer was set)
+  Unknown,        ///< conflict budget exhausted
+};
+
+}  // namespace satproof::solver

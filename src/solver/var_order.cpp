@@ -1,0 +1,75 @@
+#include "src/solver/var_order.hpp"
+
+namespace satproof::solver {
+
+void VarOrder::grow_to(Var num_vars) {
+  while (activity_.size() < num_vars) {
+    const Var v = static_cast<Var>(activity_.size());
+    activity_.push_back(0.0);
+    pos_.push_back(kNotInHeap);
+    insert(v);
+  }
+}
+
+void VarOrder::bump(Var v) {
+  activity_[v] += inc_;
+  if (activity_[v] > 1e100) {
+    // Rescale all scores to keep them finite; relative order is preserved.
+    for (double& a : activity_) a *= 1e-100;
+    inc_ *= 1e-100;
+  }
+  if (contains(v)) sift_up(pos_[v]);
+}
+
+void VarOrder::decay(double factor) { inc_ /= factor; }
+
+void VarOrder::insert(Var v) {
+  if (contains(v)) return;
+  pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  sift_up(heap_.size() - 1);
+}
+
+Var VarOrder::pop_max() {
+  const Var top = heap_[0];
+  pos_[top] = kNotInHeap;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    pos_[last] = 0;
+    sift_down(0);
+  }
+  return top;
+}
+
+void VarOrder::sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void VarOrder::sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && less(heap_[child], heap_[child + 1])) ++child;
+    if (!less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+}  // namespace satproof::solver

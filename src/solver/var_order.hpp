@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cnf/types.hpp"
+
+namespace satproof::solver {
+
+/// VSIDS variable order: a binary max-heap over activity scores.
+///
+/// Chaff's decision heuristic bumps the score of every variable involved in
+/// a conflict and periodically decays all scores; decisions pick the free
+/// variable with the highest score. Decay is implemented the
+/// rescaling way (bump increment grows by 1/decay per conflict, scores
+/// rescale near overflow), which is numerically identical to halving all
+/// counters periodically but O(1) per conflict.
+class VarOrder {
+ public:
+  /// Grows the structure to cover variables [0, num_vars).
+  void grow_to(Var num_vars);
+
+  /// Increases `v`'s activity and restores the heap property.
+  void bump(Var v);
+
+  /// Applies one conflict's worth of decay (increment scaling).
+  void decay(double factor);
+
+  /// Reinserts `v` (e.g. after it is unassigned on backtrack). No-op if
+  /// already present.
+  void insert(Var v);
+
+  /// Removes and returns the variable with maximum activity. The heap must
+  /// be non-empty.
+  Var pop_max();
+
+  /// True when no variable is queued.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// True when `v` is currently queued.
+  [[nodiscard]] bool contains(Var v) const {
+    return v < pos_.size() && pos_[v] != kNotInHeap;
+  }
+
+  /// Current activity of `v` (for tests and diagnostics).
+  [[nodiscard]] double activity(Var v) const { return activity_[v]; }
+
+ private:
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] bool less(Var a, Var b) const {
+    return activity_[a] < activity_[b];
+  }
+
+  std::vector<double> activity_;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> pos_;
+  double inc_ = 1.0;
+};
+
+}  // namespace satproof::solver

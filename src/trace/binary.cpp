@@ -1,0 +1,166 @@
+#include "src/trace/binary.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/util/varint.hpp"
+
+namespace satproof::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'R', 'F'};
+constexpr std::uint8_t kVersion = 0x01;
+
+constexpr std::uint8_t kTagDerivation = 0x01;
+constexpr std::uint8_t kTagFinalConflict = 0x02;
+constexpr std::uint8_t kTagLevel0 = 0x03;
+constexpr std::uint8_t kTagEnd = 0x04;
+constexpr std::uint8_t kTagAssumption = 0x05;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("binary trace: " + what);
+}
+
+std::uint64_t must_read_varint(std::istream& in, const char* what) {
+  const auto v = util::read_varint(in);
+  if (!v) fail(std::string("truncated while reading ") + what);
+  return *v;
+}
+
+}  // namespace
+
+void BinaryTraceWriter::begin(Var num_vars, ClauseId num_original) {
+  buf_.clear();
+  buf_.insert(buf_.end(), kMagic, kMagic + sizeof kMagic);
+  buf_.push_back(kVersion);
+  util::append_varint(buf_, num_vars);
+  util::append_varint(buf_, num_original);
+  flush_buf();
+}
+
+void BinaryTraceWriter::derivation(ClauseId id,
+                                   std::span<const ClauseId> sources) {
+  buf_.clear();
+  buf_.push_back(kTagDerivation);
+  util::append_varint(buf_, id);
+  util::append_varint(buf_, sources.size());
+  for (const ClauseId s : sources) {
+    if (s >= id) fail("derivation source id must precede the derived id");
+    util::append_varint(buf_, id - s);
+  }
+  flush_buf();
+}
+
+void BinaryTraceWriter::final_conflict(ClauseId id) {
+  buf_.clear();
+  buf_.push_back(kTagFinalConflict);
+  util::append_varint(buf_, id);
+  flush_buf();
+}
+
+void BinaryTraceWriter::level0(Var var, bool value, ClauseId antecedent) {
+  buf_.clear();
+  buf_.push_back(kTagLevel0);
+  util::append_varint(buf_, (static_cast<std::uint64_t>(var) << 1) |
+                                (value ? 1u : 0u));
+  util::append_varint(buf_, antecedent);
+  flush_buf();
+}
+
+void BinaryTraceWriter::assumption(Var var, bool value) {
+  buf_.clear();
+  buf_.push_back(kTagAssumption);
+  util::append_varint(buf_, (static_cast<std::uint64_t>(var) << 1) |
+                                (value ? 1u : 0u));
+  flush_buf();
+}
+
+void BinaryTraceWriter::end() {
+  out_->put(static_cast<char>(kTagEnd));
+  out_->flush();
+}
+
+void BinaryTraceWriter::flush_buf() {
+  out_->write(reinterpret_cast<const char*>(buf_.data()),
+              static_cast<std::streamsize>(buf_.size()));
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(&in) {
+  char magic[4] = {};
+  in_->read(magic, sizeof magic);
+  if (!*in_ || magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+      magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
+    fail("bad magic (not a satproof binary trace)");
+  }
+  const int version = in_->get();
+  if (version != kVersion) fail("unsupported version");
+  num_vars_ = static_cast<Var>(must_read_varint(*in_, "num_vars"));
+  num_original_ = must_read_varint(*in_, "num_original");
+  body_start_ = in_->tellg();
+}
+
+bool BinaryTraceReader::next(Record& out) {
+  if (done_) return false;
+  const int tag = in_->get();
+  if (tag == std::char_traits<char>::eof()) {
+    fail("trace truncated: no end record");
+  }
+  switch (static_cast<std::uint8_t>(tag)) {
+    case kTagDerivation: {
+      out.kind = RecordKind::Derivation;
+      out.id = must_read_varint(*in_, "derivation id");
+      const std::uint64_t k = must_read_varint(*in_, "source count");
+      if (k < 2) fail("derivation needs at least two sources");
+      out.sources.clear();
+      out.sources.reserve(k);
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const std::uint64_t delta = must_read_varint(*in_, "source delta");
+        if (delta == 0 || delta > out.id) fail("source delta out of range");
+        out.sources.push_back(out.id - delta);
+      }
+      return true;
+    }
+    case kTagFinalConflict:
+      out.kind = RecordKind::FinalConflict;
+      out.id = must_read_varint(*in_, "final conflict id");
+      out.sources.clear();
+      return true;
+    case kTagLevel0: {
+      out.kind = RecordKind::Level0;
+      const std::uint64_t packed = must_read_varint(*in_, "level-0 literal");
+      out.var = static_cast<Var>(packed >> 1);
+      out.value = (packed & 1) != 0;
+      out.antecedent = must_read_varint(*in_, "level-0 antecedent");
+      out.sources.clear();
+      return true;
+    }
+    case kTagAssumption: {
+      out.kind = RecordKind::Assumption;
+      const std::uint64_t packed =
+          must_read_varint(*in_, "assumption literal");
+      out.var = static_cast<Var>(packed >> 1);
+      out.value = (packed & 1) != 0;
+      out.antecedent = kInvalidClauseId;
+      out.sources.clear();
+      return true;
+    }
+    case kTagEnd:
+      out.kind = RecordKind::End;
+      out.sources.clear();
+      done_ = true;
+      return true;
+    default:
+      fail("unknown record tag " + std::to_string(tag));
+  }
+}
+
+void BinaryTraceReader::rewind() {
+  in_->clear();
+  in_->seekg(body_start_);
+  if (!*in_) fail("rewind failed");
+  done_ = false;
+}
+
+}  // namespace satproof::trace

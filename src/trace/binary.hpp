@@ -1,0 +1,72 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "src/trace/events.hpp"
+
+namespace satproof::trace {
+
+/// Compact binary trace format.
+///
+/// Section 4 of the paper points out that the ASCII trace "is not very
+/// space-efficient" and that a binary encoding would yield a 2-3x
+/// compaction and speed up the checker, whose profile is dominated by
+/// parsing. This format implements that suggestion:
+///
+///   magic "SPRF" + version byte 0x01
+///   varint num_vars, varint num_original
+///   records, each starting with a 1-byte tag:
+///     0x01 derivation:    varint id, varint k, then k varints each storing
+///                         (id - source) — sources always precede the
+///                         derived clause, so the delta is small and
+///                         typically fits in one or two bytes
+///     0x02 final conflict: varint id
+///     0x03 level-0:        varint (var << 1 | value), varint antecedent
+///     0x04 end
+///     0x05 assumption:     varint (var << 1 | value)
+///
+/// On the benchmark suite this measures 3-5x smaller than the ASCII form
+/// (see bench/ablation_trace_format).
+class BinaryTraceWriter final : public TraceWriter {
+ public:
+  /// Writes to `out` (binary mode), which must outlive the writer.
+  explicit BinaryTraceWriter(std::ostream& out) : out_(&out) {}
+
+  void begin(Var num_vars, ClauseId num_original) override;
+  void derivation(ClauseId id, std::span<const ClauseId> sources) override;
+  void final_conflict(ClauseId id) override;
+  void level0(Var var, bool value, ClauseId antecedent) override;
+  void assumption(Var var, bool value) override;
+  void end() override;
+
+ private:
+  void flush_buf();
+
+  std::ostream* out_;
+  std::vector<std::uint8_t> buf_;  ///< per-record encoding buffer (reused)
+};
+
+/// Streaming reader for the binary trace format; rewind() re-seeks the
+/// stream to the first record.
+class BinaryTraceReader final : public TraceReader {
+ public:
+  /// Reads from `in` (binary mode, seekable for rewind()). Validates the
+  /// magic and header eagerly; throws std::runtime_error on mismatch.
+  explicit BinaryTraceReader(std::istream& in);
+
+  [[nodiscard]] Var num_vars() const override { return num_vars_; }
+  [[nodiscard]] ClauseId num_original() const override {
+    return num_original_;
+  }
+  bool next(Record& out) override;
+  void rewind() override;
+
+ private:
+  std::istream* in_;
+  std::streampos body_start_{};
+  Var num_vars_ = 0;
+  ClauseId num_original_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace satproof::trace

@@ -1,0 +1,51 @@
+#include "src/trace/drup.hpp"
+
+#include <ostream>
+
+namespace satproof::trace {
+
+namespace {
+
+void append_i64(std::string& buf, std::int64_t v) {
+  if (v < 0) {
+    buf.push_back('-');
+    v = -v;
+  }
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) buf.push_back(tmp[--n]);
+}
+
+}  // namespace
+
+void DrupWriter::write_lits(std::span<const Lit> lits) {
+  for (const Lit lit : lits) {
+    append_i64(buf_, lit.to_dimacs());
+    buf_.push_back(' ');
+  }
+  buf_ += "0\n";
+  out_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+}
+
+void DrupWriter::add_clause(std::span<const Lit> lits) {
+  buf_.clear();
+  write_lits(lits);
+}
+
+void DrupWriter::delete_clause(std::span<const Lit> lits) {
+  buf_.clear();
+  buf_ += "d ";
+  write_lits(lits);
+}
+
+void DrupWriter::empty_clause() {
+  buf_.clear();
+  write_lits({});
+  out_->flush();
+}
+
+}  // namespace satproof::trace

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "src/cnf/types.hpp"
+
+namespace satproof::trace {
+
+/// DRUP proof writer — the modern descendant of the paper's trace format.
+///
+/// Where the paper's trace records *how* each clause was derived (its
+/// resolve sources), a DRUP proof records only *what* was derived: one
+/// line of literals per learned clause (checkable by reverse unit
+/// propagation), `d`-prefixed lines for deletions, and a final empty
+/// clause. The trade is size for checking effort: no antecedent lists to
+/// store, but the checker must re-derive every clause semantically
+/// (bench/ablation_drup quantifies both sides).
+///
+/// Standard DIMACS-style text format, compatible with external DRUP
+/// tools:
+///
+///     1 -3 4 0            learned clause
+///     d 1 -3 4 0          deletion
+///     0                   the derived empty clause (end of proof)
+class DrupWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit DrupWriter(std::ostream& out) : out_(&out) {}
+
+  /// Records a learned clause.
+  void add_clause(std::span<const Lit> lits);
+
+  /// Records the deletion of a clause.
+  void delete_clause(std::span<const Lit> lits);
+
+  /// Records the final (empty) clause and flushes.
+  void empty_clause();
+
+ private:
+  void write_lits(std::span<const Lit> lits);
+
+  std::ostream* out_;
+  std::string buf_;
+};
+
+}  // namespace satproof::trace

@@ -1,0 +1,8 @@
+#include "src/trace/events.hpp"
+
+namespace satproof::trace {
+
+// The interfaces are header-only; this translation unit pins their vtables.
+// (Intentionally empty.)
+
+}  // namespace satproof::trace

@@ -1,0 +1,171 @@
+#include "src/trace/fault_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace satproof::trace {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::DropSource:
+      return "drop-source";
+    case FaultKind::DuplicateSource:
+      return "duplicate-source";
+    case FaultKind::ShuffleSources:
+      return "shuffle-sources";
+    case FaultKind::WrongSource:
+      return "wrong-source";
+    case FaultKind::DropDerivation:
+      return "drop-derivation";
+    case FaultKind::WrongFinal:
+      return "wrong-final";
+    case FaultKind::FlipLevel0Value:
+      return "flip-level0-value";
+    case FaultKind::WrongAntecedent:
+      return "wrong-antecedent";
+    case FaultKind::DropLevel0:
+      return "drop-level0";
+    case FaultKind::TruncateTrace:
+      return "truncate-trace";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(TraceWriter& inner, FaultKind kind,
+                             std::uint64_t seed, std::uint64_t target_index)
+    : inner_(&inner), kind_(kind), rng_(seed), target_index_(target_index) {}
+
+bool FaultInjector::should_fire() {
+  if (fired_) return false;
+  if (opportunities_++ == target_index_) {
+    fired_ = true;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::begin(Var num_vars, ClauseId num_original) {
+  inner_->begin(num_vars, num_original);
+}
+
+void FaultInjector::derivation(ClauseId id,
+                               std::span<const ClauseId> sources) {
+  if (truncated_) return;
+  switch (kind_) {
+    case FaultKind::DropSource:
+      if (sources.size() > 2 && should_fire()) {
+        std::vector<ClauseId> corrupt(sources.begin(), sources.end());
+        corrupt.erase(corrupt.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng_.next_below(corrupt.size())));
+        inner_->derivation(id, corrupt);
+        return;
+      }
+      break;
+    case FaultKind::DuplicateSource:
+      if (should_fire()) {
+        std::vector<ClauseId> corrupt(sources.begin(), sources.end());
+        corrupt.push_back(corrupt.back());
+        inner_->derivation(id, corrupt);
+        return;
+      }
+      break;
+    case FaultKind::ShuffleSources:
+      if (sources.size() > 2 && should_fire()) {
+        std::vector<ClauseId> corrupt(sources.begin(), sources.end());
+        std::reverse(corrupt.begin(), corrupt.end());
+        inner_->derivation(id, corrupt);
+        return;
+      }
+      break;
+    case FaultKind::WrongSource:
+      if (should_fire()) {
+        std::vector<ClauseId> corrupt(sources.begin(), sources.end());
+        const std::size_t pos = rng_.next_below(corrupt.size());
+        // Swap in a different clause that exists (an original clause),
+        // modelling an off-by-one in ID bookkeeping.
+        corrupt[pos] = corrupt[pos] == 0 ? 1 : corrupt[pos] - 1;
+        inner_->derivation(id, corrupt);
+        return;
+      }
+      break;
+    case FaultKind::DropDerivation:
+      if (should_fire()) return;  // swallow the record entirely
+      break;
+    case FaultKind::TruncateTrace:
+      if (should_fire()) {
+        truncated_ = true;
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  inner_->derivation(id, sources);
+}
+
+void FaultInjector::final_conflict(ClauseId id) {
+  if (truncated_) return;
+  if (kind_ == FaultKind::WrongFinal && should_fire()) {
+    // Point at a different clause; original clause 0 exists in any
+    // non-empty formula and is essentially never the real final conflict.
+    inner_->final_conflict(id == 0 ? 1 : id - 1);
+    return;
+  }
+  if (kind_ == FaultKind::TruncateTrace && should_fire()) {
+    truncated_ = true;
+    return;
+  }
+  inner_->final_conflict(id);
+}
+
+void FaultInjector::level0(Var var, bool value, ClauseId antecedent) {
+  if (truncated_) return;
+  switch (kind_) {
+    case FaultKind::FlipLevel0Value:
+      if (should_fire()) {
+        inner_->level0(var, !value, antecedent);
+        return;
+      }
+      break;
+    case FaultKind::WrongAntecedent:
+      if (should_fire()) {
+        inner_->level0(var, value, antecedent == 0 ? 1 : antecedent - 1);
+        return;
+      }
+      break;
+    case FaultKind::DropLevel0:
+      if (should_fire()) return;
+      break;
+    case FaultKind::TruncateTrace:
+      if (should_fire()) {
+        truncated_ = true;
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  inner_->level0(var, value, antecedent);
+}
+
+void FaultInjector::assumption(Var var, bool value) {
+  if (truncated_) return;
+  if (kind_ == FaultKind::FlipLevel0Value && should_fire()) {
+    inner_->assumption(var, !value);
+    return;
+  }
+  inner_->assumption(var, value);
+}
+
+void FaultInjector::end() {
+  if (kind_ == FaultKind::TruncateTrace && fired_) {
+    // A crashed solver never writes the end marker; readers must cope.
+    return;
+  }
+  inner_->end();
+}
+
+}  // namespace satproof::trace

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/events.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof::trace {
+
+/// Ways a buggy solver (or buggy trace generation) can corrupt a trace.
+///
+/// The paper's motivation for the checker is that "quite a few submitted
+/// SAT solvers were found to be buggy" in the SAT 2002 competition and that
+/// the checker "can provide information for debugging when checking fails".
+/// Each mode below models one realistic solver bug; the test suite asserts
+/// that both checkers reject every one of them with a diagnostic.
+enum class FaultKind : std::uint8_t {
+  None,             ///< pass-through (sanity baseline)
+  DropSource,       ///< omit one resolve source from a derivation
+  DuplicateSource,  ///< repeat a resolve source (double resolution on a var)
+  ShuffleSources,   ///< reverse a derivation's source order
+  WrongSource,      ///< replace one source ID with a different valid ID
+  DropDerivation,   ///< omit a whole derivation record (dangling reference)
+  WrongFinal,       ///< point the final conflict at a non-conflicting clause
+  FlipLevel0Value,  ///< record the wrong value for a level-0 assignment
+  WrongAntecedent,  ///< give a level-0 variable a bogus antecedent clause
+  DropLevel0,       ///< omit one level-0 assignment record
+  TruncateTrace,    ///< stop writing mid-trace (solver crash mid-dump)
+};
+
+/// Human-readable name of a fault kind (for test diagnostics and the
+/// buggy_solver example).
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// TraceWriter decorator that forwards to an inner writer while injecting
+/// exactly one fault of the configured kind, selected pseudo-randomly among
+/// the eligible records by a deterministic seed.
+class FaultInjector final : public TraceWriter {
+ public:
+  /// Wraps `inner` (must outlive the injector). `target_index` picks which
+  /// eligible record is corrupted: faults become active on the
+  /// `target_index`-th opportunity (0-based), making tests deterministic.
+  FaultInjector(TraceWriter& inner, FaultKind kind, std::uint64_t seed = 1,
+                std::uint64_t target_index = 0);
+
+  void begin(Var num_vars, ClauseId num_original) override;
+  void derivation(ClauseId id, std::span<const ClauseId> sources) override;
+  void final_conflict(ClauseId id) override;
+  void level0(Var var, bool value, ClauseId antecedent) override;
+  void assumption(Var var, bool value) override;
+  void end() override;
+
+  /// True once the fault has actually been injected. A test that requests
+  /// a fault but never hits an eligible record should be treated as
+  /// inconclusive rather than passing vacuously.
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  bool should_fire();
+
+  TraceWriter* inner_;
+  FaultKind kind_;
+  util::Rng rng_;
+  std::uint64_t target_index_;
+  std::uint64_t opportunities_ = 0;
+  bool fired_ = false;
+  bool truncated_ = false;
+};
+
+}  // namespace satproof::trace

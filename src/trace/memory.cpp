@@ -1,0 +1,73 @@
+#include "src/trace/memory.hpp"
+
+namespace satproof::trace {
+
+void MemoryTraceWriter::begin(Var num_vars, ClauseId num_original) {
+  trace_ = MemoryTrace{};
+  trace_.num_vars = num_vars;
+  trace_.num_original = num_original;
+}
+
+void MemoryTraceWriter::derivation(ClauseId id,
+                                   std::span<const ClauseId> sources) {
+  trace_.derivations.push_back(
+      {id, std::vector<ClauseId>(sources.begin(), sources.end())});
+}
+
+void MemoryTraceWriter::final_conflict(ClauseId id) {
+  trace_.has_final = true;
+  trace_.final_conflict = id;
+}
+
+void MemoryTraceWriter::level0(Var var, bool value, ClauseId antecedent) {
+  trace_.level0.push_back({var, value, antecedent});
+}
+
+void MemoryTraceWriter::assumption(Var var, bool value) {
+  trace_.level0.push_back({var, value, kInvalidClauseId});
+}
+
+void MemoryTraceWriter::end() { trace_.finished = true; }
+
+bool MemoryTraceReader::next(Record& out) {
+  if (deriv_pos_ < trace_->derivations.size()) {
+    const auto& d = trace_->derivations[deriv_pos_++];
+    out.kind = RecordKind::Derivation;
+    out.id = d.id;
+    out.sources = d.sources;
+    return true;
+  }
+  if (trace_->has_final && !final_emitted_) {
+    final_emitted_ = true;
+    out.kind = RecordKind::FinalConflict;
+    out.id = trace_->final_conflict;
+    out.sources.clear();
+    return true;
+  }
+  if (level0_pos_ < trace_->level0.size()) {
+    const auto& a = trace_->level0[level0_pos_++];
+    out.kind = a.antecedent == kInvalidClauseId ? RecordKind::Assumption
+                                                : RecordKind::Level0;
+    out.var = a.var;
+    out.value = a.value;
+    out.antecedent = a.antecedent;
+    out.sources.clear();
+    return true;
+  }
+  if (!end_emitted_) {
+    end_emitted_ = true;
+    out.kind = RecordKind::End;
+    out.sources.clear();
+    return true;
+  }
+  return false;
+}
+
+void MemoryTraceReader::rewind() {
+  deriv_pos_ = 0;
+  level0_pos_ = 0;
+  final_emitted_ = false;
+  end_emitted_ = false;
+}
+
+}  // namespace satproof::trace

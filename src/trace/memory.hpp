@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "src/trace/events.hpp"
+
+namespace satproof::trace {
+
+/// Complete trace held in memory: the natural interchange object for tests
+/// and for checking a proof without touching the filesystem.
+struct MemoryTrace {
+  Var num_vars = 0;
+  ClauseId num_original = 0;
+  bool finished = false;  ///< end() was called
+  bool has_final = false; ///< final_conflict() was called (UNSAT run)
+  ClauseId final_conflict = kInvalidClauseId;
+
+  struct Derivation {
+    ClauseId id;
+    std::vector<ClauseId> sources;
+  };
+  std::vector<Derivation> derivations;
+
+  /// One trail record: an implied assignment (antecedent is a clause ID)
+  /// or an assumption (antecedent == kInvalidClauseId). Order is trail
+  /// order, which the checker's "assigned earlier" validation relies on.
+  struct Level0 {
+    Var var;
+    bool value;
+    ClauseId antecedent;
+  };
+  std::vector<Level0> level0;
+};
+
+/// TraceWriter that records into a MemoryTrace.
+class MemoryTraceWriter final : public TraceWriter {
+ public:
+  void begin(Var num_vars, ClauseId num_original) override;
+  void derivation(ClauseId id, std::span<const ClauseId> sources) override;
+  void final_conflict(ClauseId id) override;
+  void level0(Var var, bool value, ClauseId antecedent) override;
+  void assumption(Var var, bool value) override;
+  void end() override;
+
+  /// The accumulated trace (valid after end()).
+  [[nodiscard]] const MemoryTrace& trace() const { return trace_; }
+
+  /// Moves the accumulated trace out of the writer.
+  [[nodiscard]] MemoryTrace take() { return std::move(trace_); }
+
+ private:
+  MemoryTrace trace_;
+};
+
+/// TraceReader over a MemoryTrace. The referenced trace must outlive the
+/// reader. Records are replayed in canonical order: derivations, then the
+/// final conflict, then level-0 assignments, then End.
+class MemoryTraceReader final : public TraceReader {
+ public:
+  explicit MemoryTraceReader(const MemoryTrace& trace) : trace_(&trace) {}
+
+  [[nodiscard]] Var num_vars() const override { return trace_->num_vars; }
+  [[nodiscard]] ClauseId num_original() const override {
+    return trace_->num_original;
+  }
+  bool next(Record& out) override;
+  void rewind() override;
+
+ private:
+  const MemoryTrace* trace_;
+  std::size_t deriv_pos_ = 0;
+  std::size_t level0_pos_ = 0;
+  bool final_emitted_ = false;
+  bool end_emitted_ = false;
+};
+
+}  // namespace satproof::trace

@@ -1,0 +1,12 @@
+#include "src/util/mem_tracker.hpp"
+
+namespace satproof::util {
+
+std::size_t clause_footprint_bytes(std::size_t num_lits) {
+  // 4 bytes per literal plus a 32-byte header: clause id, length, flags and
+  // typical allocator rounding. The constant matters less than using the
+  // same formula everywhere.
+  return 4 * num_lits + 32;
+}
+
+}  // namespace satproof::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace satproof::util {
+
+/// Byte-accounting tracker for the "Peak Mem" columns of the paper's
+/// Table 2.
+///
+/// The paper reports process peak memory on a PIII with an 800 MB limit.
+/// Process RSS is neither portable nor deterministic, so every component
+/// that retains clauses (the solver's clause database, the depth-first
+/// checker's memo table, the breadth-first checker's live-clause window)
+/// accounts the bytes it holds through one of these trackers. The resulting
+/// numbers are exactly reproducible and preserve the paper's *shape*:
+/// depth-first peak >> breadth-first peak, and breadth-first peak bounded
+/// by the solver's own peak (Section 3.3 of the paper).
+class MemTracker {
+ public:
+  /// Records an allocation of `bytes`.
+  void add(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Records a release of `bytes`. `bytes` must not exceed the current
+  /// footprint; accounting errors indicate a bookkeeping bug upstream.
+  void remove(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Currently accounted bytes.
+  [[nodiscard]] std::size_t current_bytes() const { return current_; }
+
+  /// High-water mark since construction (or the last reset()).
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+  /// Clears both the current footprint and the high-water mark.
+  void reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Estimated heap footprint of a clause of `num_lits` literals: the literal
+/// payload plus a fixed per-clause overhead (header, allocator bookkeeping).
+/// Used consistently by the solver and both checkers so their peak-memory
+/// numbers are directly comparable.
+[[nodiscard]] std::size_t clause_footprint_bytes(std::size_t num_lits);
+
+}  // namespace satproof::util

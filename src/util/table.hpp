@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satproof::util {
+
+/// Fixed-width text table printer used by the table-reproduction benches so
+/// their output visually matches the tables in the paper.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) with aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int digits = 2);
+
+/// Formats a byte count as a KB figure (the unit the paper's tables use).
+[[nodiscard]] std::string format_kb(std::size_t bytes);
+
+/// Formats `numerator/denominator` as a percentage string like "42.1%".
+[[nodiscard]] std::string format_percent(double numerator, double denominator);
+
+}  // namespace satproof::util

@@ -1,0 +1,51 @@
+#include "src/util/temp_file.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace satproof::util {
+
+namespace {
+std::atomic<std::uint64_t> g_counter{0};
+}
+
+TempFile::TempFile(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto id = g_counter.fetch_add(1, std::memory_order_relaxed);
+  path_ = dir / (tag + "." + std::to_string(static_cast<unsigned long long>(
+                           ::getpid())) +
+                 "." + std::to_string(id) + ".tmp");
+  std::ofstream create(path_, std::ios::binary | std::ios::trunc);
+  if (!create) {
+    throw std::runtime_error("TempFile: cannot create " + path_.string());
+  }
+}
+
+TempFile::TempFile(TempFile&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempFile& TempFile::operator=(TempFile&& other) noexcept {
+  if (this != &other) {
+    cleanup();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempFile::~TempFile() { cleanup(); }
+
+void TempFile::cleanup() noexcept {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    path_.clear();
+  }
+}
+
+}  // namespace satproof::util

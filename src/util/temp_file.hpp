@@ -1,0 +1,35 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace satproof::util {
+
+/// RAII owner of a uniquely named temporary file.
+///
+/// The breadth-first checker (paper Section 3.3) keeps per-clause use
+/// counts in a temporary file when even one in-memory counter per learned
+/// clause would not fit; trace files written during tests also live in
+/// these. The file is removed on destruction.
+class TempFile {
+ public:
+  /// Creates a unique, initially empty file under the system temp directory.
+  /// `tag` becomes part of the file name for debuggability.
+  explicit TempFile(const std::string& tag = "satproof");
+
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+  TempFile(TempFile&& other) noexcept;
+  TempFile& operator=(TempFile&& other) noexcept;
+  ~TempFile();
+
+  /// Absolute path of the owned file.
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void cleanup() noexcept;
+
+  std::filesystem::path path_;
+};
+
+}  // namespace satproof::util

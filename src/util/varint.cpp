@@ -1,0 +1,72 @@
+#include "src/util/varint.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace satproof::util {
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void write_varint(std::ostream& os, std::uint64_t value) {
+  while (value >= 0x80) {
+    os.put(static_cast<char>(static_cast<std::uint8_t>(value) | 0x80));
+    value >>= 7;
+  }
+  os.put(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> read_varint(std::istream& is) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  bool first = true;
+  while (true) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      if (first) return std::nullopt;
+      throw std::runtime_error("varint: truncated encoding at end of stream");
+    }
+    first = false;
+    const auto byte = static_cast<std::uint8_t>(c);
+    if (shift >= 63 && (byte >> (70 - shift)) != 0) {
+      throw std::runtime_error("varint: value exceeds 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift >= 70) throw std::runtime_error("varint: over-long encoding");
+  }
+}
+
+std::uint64_t decode_varint(const std::vector<std::uint8_t>& data,
+                            std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= data.size()) {
+      throw std::runtime_error("varint: truncated encoding in buffer");
+    }
+    const std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift >= 70) throw std::runtime_error("varint: over-long encoding");
+  }
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace satproof::util

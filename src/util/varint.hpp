@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace satproof::util {
+
+/// LEB128-style variable-length integer codec.
+///
+/// The paper (Section 4) observes that its human-readable ASCII trace format
+/// costs both disk space and checker parsing time, and estimates a 2-3x
+/// compaction from a binary encoding. The binary trace writer implements
+/// that suggestion on top of this codec: each value is emitted as 7-bit
+/// groups, least significant first, with the high bit of every byte but the
+/// last set.
+
+/// Appends the varint encoding of `value` to `out`.
+void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Writes the varint encoding of `value` to `os`.
+void write_varint(std::ostream& os, std::uint64_t value);
+
+/// Reads one varint from `is`. Returns std::nullopt on EOF before the first
+/// byte; throws std::runtime_error on a truncated or over-long encoding.
+std::optional<std::uint64_t> read_varint(std::istream& is);
+
+/// Decodes one varint from `data` starting at `pos`, advancing `pos`.
+/// Throws std::runtime_error on truncation or over-long encodings.
+std::uint64_t decode_varint(const std::vector<std::uint8_t>& data,
+                            std::size_t& pos);
+
+/// Number of bytes the varint encoding of `value` occupies.
+[[nodiscard]] std::size_t varint_size(std::uint64_t value);
+
+}  // namespace satproof::util

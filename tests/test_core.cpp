@@ -1,0 +1,173 @@
+// Tests for unsat-core extraction and the Table 3 iteration procedure.
+
+#include <gtest/gtest.h>
+
+#include "src/core/unsat_core.hpp"
+#include "src/encode/fpga_routing.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/planning.hpp"
+#include "src/solver/solver.hpp"
+
+namespace satproof::core {
+namespace {
+
+TEST(ExtractCore, CoreIsUnsatSubset) {
+  const Formula f = encode::pigeonhole(5);
+  const CoreExtraction ext = extract_core(f);
+  ASSERT_TRUE(ext.ok) << ext.error;
+  EXPECT_FALSE(ext.core_ids.empty());
+  EXPECT_LE(ext.core_ids.size(), f.num_clauses());
+  EXPECT_EQ(ext.core.num_clauses(), ext.core_ids.size());
+
+  // The core itself must be unsatisfiable (the Lemma of Section 2.2).
+  solver::Solver s;
+  s.add_formula(ext.core);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+}
+
+TEST(ExtractCore, PlanningInstanceHasSmallCore) {
+  // The paper's observation (Table 3): planning and routing instances have
+  // cores much smaller than the original formula.
+  const Formula f = encode::blocks_world_random(5, -1, 3301).formula;
+  const CoreExtraction ext = extract_core(f);
+  ASSERT_TRUE(ext.ok) << ext.error;
+  EXPECT_LT(ext.core_ids.size(), f.num_clauses() / 2);
+  EXPECT_LT(ext.num_vars_used, f.num_used_vars());
+}
+
+TEST(ExtractCore, SatisfiableInputReported) {
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  const CoreExtraction ext = extract_core(f);
+  EXPECT_FALSE(ext.ok);
+  EXPECT_NE(ext.error.find("satisfiable"), std::string::npos);
+}
+
+TEST(ExtractCore, BudgetExhaustionReported) {
+  solver::SolverOptions opts;
+  opts.conflict_budget = 1;
+  const CoreExtraction ext = extract_core(encode::pigeonhole(6), opts);
+  EXPECT_FALSE(ext.ok);
+  EXPECT_NE(ext.error.find("gave up"), std::string::npos);
+}
+
+TEST(IterateCore, ReachesFixedPointOnPigeonhole) {
+  // Every clause of PHP is needed, so iteration converges immediately or
+  // after one shrink.
+  const Formula f = encode::pigeonhole(4);
+  const CoreIteration it = iterate_core(f, 30);
+  ASSERT_TRUE(it.ok) << it.error;
+  EXPECT_TRUE(it.fixed_point);
+  ASSERT_GE(it.steps.size(), 2u);
+  EXPECT_EQ(it.steps.front().num_clauses, f.num_clauses());
+  // At the fixed point, the last two step sizes agree.
+  const auto& a = it.steps[it.steps.size() - 2];
+  const auto& b = it.steps.back();
+  EXPECT_EQ(a.num_clauses, b.num_clauses);
+
+  solver::Solver s;
+  s.add_formula(it.final_core);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+}
+
+TEST(IterateCore, CoreSizesNeverGrowAlongIteration) {
+  const Formula f = encode::fpga_routing(8, 3, 12, 5);
+  const CoreIteration it = iterate_core(f, 30);
+  ASSERT_TRUE(it.ok) << it.error;
+  for (std::size_t i = 1; i < it.steps.size(); ++i) {
+    EXPECT_LE(it.steps[i].num_clauses, it.steps[i - 1].num_clauses);
+  }
+}
+
+TEST(IterateCore, RoutingCoreShrinksALot) {
+  // Unroutability is caused by tracks+1 congested nets; the core should
+  // name (roughly) them, not the whole channel.
+  const Formula f = encode::fpga_routing(10, 3, 14, 5);
+  const CoreIteration it = iterate_core(f, 30);
+  ASSERT_TRUE(it.ok) << it.error;
+  EXPECT_LT(it.final_core.num_clauses(), f.num_clauses());
+}
+
+TEST(IterateCore, MaxIterationsHonoured) {
+  const Formula f = encode::pigeonhole(5);
+  const CoreIteration it = iterate_core(f, 1);
+  ASSERT_TRUE(it.ok) << it.error;
+  EXPECT_LE(it.iterations, 1u);
+  EXPECT_EQ(it.steps.size(), it.iterations + 1);
+}
+
+TEST(MinimalCore, PigeonholeIsAlreadyMinimal) {
+  // Every PHP clause is necessary: dropping an at-least-one frees a pigeon,
+  // dropping an at-most-one lets two pigeons share.
+  const Formula f = encode::pigeonhole(3);
+  const MinimalCore mc = minimal_core(f);
+  ASSERT_TRUE(mc.ok) << mc.error;
+  EXPECT_EQ(mc.core_ids.size(), f.num_clauses());
+}
+
+TEST(MinimalCore, ResultIsSetMinimal) {
+  const Formula f = encode::fpga_routing(8, 3, 12, 5);
+  const MinimalCore mc = minimal_core(f);
+  ASSERT_TRUE(mc.ok) << mc.error;
+  EXPECT_LT(mc.core_ids.size(), f.num_clauses());
+  EXPECT_GT(mc.solver_calls, 1u);
+
+  // The core is unsatisfiable...
+  {
+    solver::Solver s;
+    s.add_formula(mc.core);
+    ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  }
+  // ...and removing any single clause makes it satisfiable.
+  for (std::size_t drop = 0; drop < mc.core_ids.size(); ++drop) {
+    std::vector<ClauseId> rest;
+    for (std::size_t i = 0; i < mc.core_ids.size(); ++i) {
+      if (i != drop) rest.push_back(mc.core_ids[i]);
+    }
+    solver::Solver s;
+    s.add_formula(f.subformula(rest));
+    EXPECT_EQ(s.solve(), solver::SolveResult::Satisfiable)
+        << "clause " << mc.core_ids[drop] << " is not necessary";
+  }
+}
+
+TEST(MinimalCore, SmallerOrEqualToIteratedCore) {
+  const Formula f = encode::blocks_world_random(4, -1, 77).formula;
+  const CoreIteration it = iterate_core(f, 30);
+  const MinimalCore mc = minimal_core(f);
+  ASSERT_TRUE(it.ok) << it.error;
+  ASSERT_TRUE(mc.ok) << mc.error;
+  EXPECT_LE(mc.core_ids.size(), it.final_core.num_clauses());
+}
+
+TEST(MinimalCore, SatisfiableInputReported) {
+  Formula f(1);
+  f.add_clause({Lit::pos(0)});
+  const MinimalCore mc = minimal_core(f);
+  EXPECT_FALSE(mc.ok);
+  EXPECT_FALSE(mc.error.empty());
+}
+
+TEST(ExtractCore, StatusDistinguishesFailureModes) {
+  Formula sat(1);
+  sat.add_clause({Lit::pos(0)});
+  EXPECT_EQ(extract_core(sat).status, CoreStatus::Satisfiable);
+
+  solver::SolverOptions tiny;
+  tiny.conflict_budget = 1;
+  EXPECT_EQ(extract_core(encode::pigeonhole(6), tiny).status,
+            CoreStatus::Unknown);
+
+  EXPECT_EQ(extract_core(encode::pigeonhole(4)).status, CoreStatus::Ok);
+}
+
+TEST(IterateCore, SatisfiableInputFailsGracefully) {
+  Formula f(1);
+  f.add_clause({Lit::pos(0)});
+  const CoreIteration it = iterate_core(f, 5);
+  EXPECT_FALSE(it.ok);
+  EXPECT_FALSE(it.error.empty());
+}
+
+}  // namespace
+}  // namespace satproof::core

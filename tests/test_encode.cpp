@@ -1,0 +1,189 @@
+// Tests for the benchmark generators: structural properties and known
+// SAT/UNSAT statuses at boundary parameters (solver as oracle, small sizes).
+
+#include <gtest/gtest.h>
+
+#include "src/cnf/model.hpp"
+#include "src/encode/coloring.hpp"
+#include "src/encode/fpga_routing.hpp"
+#include "src/encode/parity.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/planning.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/encode/suite.hpp"
+#include "src/solver/solver.hpp"
+
+namespace satproof::encode {
+namespace {
+
+solver::SolveResult solve(const Formula& f) {
+  solver::Solver s;
+  s.add_formula(f);
+  const auto r = s.solve();
+  if (r == solver::SolveResult::Satisfiable) {
+    EXPECT_TRUE(satisfies(f, s.model()));
+  }
+  return r;
+}
+
+TEST(Pigeonhole, StructureAndStatus) {
+  const Formula f = pigeonhole(4);
+  EXPECT_EQ(f.num_vars(), 5u * 4u);
+  // 5 at-least-one clauses + 4 * C(5,2) at-most-one clauses.
+  EXPECT_EQ(f.num_clauses(), 5u + 4u * 10u);
+  EXPECT_EQ(solve(f), solver::SolveResult::Unsatisfiable);
+}
+
+TEST(XorChain, AlwaysUnsat) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Formula f = xor_chain(10, seed);
+    EXPECT_EQ(f.num_clauses(), 20u);  // 2 clauses per XOR constraint
+    EXPECT_EQ(solve(f), solver::SolveResult::Unsatisfiable) << seed;
+  }
+}
+
+TEST(XorChain, RejectsTinyN) {
+  EXPECT_THROW(xor_chain(2, 1), std::invalid_argument);
+}
+
+TEST(RandomXor3, AlwaysUnsat) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const Formula f = random_xor3(12, 16, seed);
+    EXPECT_EQ(solve(f), solver::SolveResult::Unsatisfiable) << seed;
+  }
+}
+
+TEST(TseitinTorus, AlwaysUnsatAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    const Formula f = tseitin_torus(3, 3, seed);
+    EXPECT_EQ(f.num_vars(), 18u);           // 2 * 3 * 3 edges
+    EXPECT_EQ(f.num_clauses(), 9u * 8u);    // 8 clauses per degree-4 vertex
+    EXPECT_EQ(solve(f), solver::SolveResult::Unsatisfiable) << seed;
+  }
+}
+
+TEST(TseitinTorus, RejectsTinyGrids) {
+  EXPECT_THROW(tseitin_torus(2, 5, 1), std::invalid_argument);
+}
+
+TEST(RandomKsat, RespectsShape) {
+  const Formula f = random_ksat(20, 50, 3, 7);
+  EXPECT_EQ(f.num_clauses(), 50u);
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    const auto c = f.clause(id);
+    ASSERT_EQ(c.size(), 3u);
+    // Distinct variables within a clause.
+    EXPECT_NE(c[0].var(), c[1].var());
+    EXPECT_NE(c[0].var(), c[2].var());
+    EXPECT_NE(c[1].var(), c[2].var());
+  }
+}
+
+TEST(RandomKsat, LowRatioSatHighRatioUnsat) {
+  // Far below the 3-SAT threshold: SAT; far above: UNSAT.
+  EXPECT_EQ(solve(random_ksat(30, 60, 3, 11)),
+            solver::SolveResult::Satisfiable);
+  EXPECT_EQ(solve(random_ksat(30, 240, 3, 11)),
+            solver::SolveResult::Unsatisfiable);
+}
+
+TEST(RandomKsat, RejectsBadK) {
+  EXPECT_THROW(random_ksat(3, 5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(random_ksat(3, 5, 4, 1), std::invalid_argument);
+}
+
+TEST(Coloring, CliqueBoundary) {
+  EXPECT_EQ(solve(clique_coloring(5, 5)), solver::SolveResult::Satisfiable);
+  EXPECT_EQ(solve(clique_coloring(5, 4)), solver::SolveResult::Unsatisfiable);
+}
+
+TEST(Coloring, RandomGraphEdgeDensityExtremes) {
+  // Density 0: no edges, 1 color suffices. Density 1: clique.
+  EXPECT_EQ(solve(random_graph_coloring(6, 0.0, 1, 5)),
+            solver::SolveResult::Satisfiable);
+  EXPECT_EQ(solve(random_graph_coloring(6, 1.0, 5, 5)),
+            solver::SolveResult::Unsatisfiable);
+}
+
+TEST(FpgaRouting, CongestedChannelUnsat) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_EQ(solve(fpga_routing(8, 3, 12, seed)),
+              solver::SolveResult::Unsatisfiable)
+        << seed;
+  }
+}
+
+TEST(FpgaRouting, EnoughTracksSat) {
+  // Without a planted hot spot and with as many tracks as nets, routing
+  // always succeeds.
+  Formula f = fpga_routing(5, 5, 12, 9, /*congested=*/false);
+  EXPECT_EQ(solve(f), solver::SolveResult::Satisfiable);
+}
+
+TEST(FpgaRouting, ParameterValidation) {
+  EXPECT_THROW(fpga_routing(3, 3, 12, 1), std::invalid_argument);
+  EXPECT_THROW(fpga_routing(9, 4, 2, 1), std::invalid_argument);
+}
+
+TEST(BlocksWorld, ReversalBoundaryMatchesTheory) {
+  for (unsigned blocks = 2; blocks <= 5; ++blocks) {
+    const unsigned min = blocks_world_min_steps(blocks);
+    EXPECT_EQ(solve(blocks_world_reversal(blocks, min)),
+              solver::SolveResult::Satisfiable)
+        << blocks;
+    EXPECT_EQ(solve(blocks_world_reversal(blocks, min - 1)),
+              solver::SolveResult::Unsatisfiable)
+        << blocks;
+  }
+}
+
+TEST(BlocksWorld, OptimalMatchesSatBoundary) {
+  // The SAT encoding and the BFS ground truth must agree exactly.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    const BlocksWorldInstance sat = blocks_world_random(4, 0, seed);
+    EXPECT_EQ(solve(sat.formula), solver::SolveResult::Satisfiable) << seed;
+    const BlocksWorldInstance unsat = blocks_world_random(4, -1, seed);
+    EXPECT_EQ(solve(unsat.formula), solver::SolveResult::Unsatisfiable)
+        << seed;
+  }
+}
+
+TEST(BlocksWorld, OptimalOfIdentityIsZero) {
+  const BlocksConfig cfg{4, 4, 4, 4};  // all four blocks on the table
+  EXPECT_EQ(blocks_world_optimal(cfg, cfg), 0u);
+}
+
+TEST(BlocksWorld, OptimalOfSingleMove) {
+  const BlocksConfig init{2, 2};  // both on table
+  const BlocksConfig goal{1, 2};  // 0 on 1
+  EXPECT_EQ(blocks_world_optimal(init, goal), 1u);
+}
+
+TEST(BlocksWorld, RejectsMalformedConfigs) {
+  EXPECT_THROW(blocks_world({0, 0}, {2, 2}, 2), std::invalid_argument);
+  EXPECT_THROW(blocks_world({1, 0}, {2, 2}, 2), std::invalid_argument);
+  const BlocksConfig three_on_one{2, 2, 1};  // blocks 0,1... fine
+  const BlocksConfig both_on_2{2, 2, 3};
+  const BlocksConfig dup{1, 3, 1, 4};  // 0 and 2 both on block 1
+  EXPECT_THROW(blocks_world(dup, dup, 2), std::invalid_argument);
+}
+
+TEST(Suite, SmallScaleSolvesQuicklyAndUnsat) {
+  for (const auto& inst : unsat_suite(SuiteScale::Small)) {
+    EXPECT_EQ(solve(inst.formula), solver::SolveResult::Unsatisfiable)
+        << inst.name;
+    EXPECT_FALSE(inst.name.empty());
+    EXPECT_FALSE(inst.family.empty());
+  }
+}
+
+TEST(Suite, StandardScaleHasTwelveRowsAcrossFamilies) {
+  const auto suite = unsat_suite(SuiteScale::Standard);
+  EXPECT_EQ(suite.size(), 12u);
+  std::set<std::string> families;
+  for (const auto& inst : suite) families.insert(inst.family);
+  EXPECT_GE(families.size(), 6u);  // paper-like domain mix
+}
+
+}  // namespace
+}  // namespace satproof::encode

@@ -1,0 +1,173 @@
+// Tests for the hybrid checker (the paper's future-work design): it must
+// agree with depth-first on what gets built, with breadth-first on what is
+// accepted, and sit at or below depth-first memory.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/checker/hybrid.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/encode/suite.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/fault_injector.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::checker {
+namespace {
+
+struct SolvedUnsat {
+  Formula formula;
+  trace::MemoryTrace trace;
+  solver::SolverStats stats;
+};
+
+SolvedUnsat solve_unsat(Formula f) {
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  return {std::move(f), w.take(), s.stats()};
+}
+
+TEST(Hybrid, AcceptsGenuineTraces) {
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Small)) {
+    const SolvedUnsat su = solve_unsat(inst.formula);
+    trace::MemoryTraceReader r(su.trace);
+    const CheckResult hy = check_hybrid(su.formula, r);
+    EXPECT_TRUE(hy.ok) << inst.name << ": " << hy.error;
+  }
+}
+
+TEST(Hybrid, BuildsExactlyTheDepthFirstSubgraph) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(6));
+  trace::MemoryTraceReader r1(su.trace);
+  const CheckResult df = check_depth_first(su.formula, r1);
+  trace::MemoryTraceReader r2(su.trace);
+  const CheckResult hy = check_hybrid(su.formula, r2);
+  ASSERT_TRUE(df.ok);
+  ASSERT_TRUE(hy.ok);
+  EXPECT_EQ(hy.stats.total_derivations, df.stats.total_derivations);
+  // Reachability from {final conflict, level-0 antecedents} can exceed
+  // reachability from the final conflict alone by at most the pinned
+  // antecedents themselves; on these traces they coincide.
+  EXPECT_GE(hy.stats.clauses_built, df.stats.clauses_built);
+  EXPECT_LE(hy.stats.clauses_built,
+            df.stats.clauses_built + su.trace.level0.size() + 1);
+  EXPECT_LT(hy.stats.clauses_built, hy.stats.total_derivations);
+}
+
+TEST(Hybrid, MemoryAtOrBelowDepthFirst) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(7));
+  trace::MemoryTraceReader r1(su.trace);
+  const CheckResult df = check_depth_first(su.formula, r1);
+  trace::MemoryTraceReader r2(su.trace);
+  const CheckResult hy = check_hybrid(su.formula, r2);
+  ASSERT_TRUE(df.ok);
+  ASSERT_TRUE(hy.ok);
+  // The hybrid holds the DAG structure but no clause memo; on large traces
+  // it must undercut the depth-first peak.
+  EXPECT_LT(hy.stats.peak_mem_bytes, df.stats.peak_mem_bytes);
+}
+
+TEST(Hybrid, AgreesWithBreadthFirstOnResults) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(5));
+  trace::MemoryTraceReader r1(su.trace);
+  const CheckResult bf = check_breadth_first(su.formula, r1);
+  trace::MemoryTraceReader r2(su.trace);
+  const CheckResult hy = check_hybrid(su.formula, r2);
+  ASSERT_TRUE(bf.ok);
+  ASSERT_TRUE(hy.ok);
+  // Hybrid performs a subset of breadth-first's work.
+  EXPECT_LE(hy.stats.resolutions, bf.stats.resolutions);
+  EXPECT_LE(hy.stats.clauses_built, bf.stats.clauses_built);
+}
+
+TEST(Hybrid, FileBackedCountsWork) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(5));
+  HybridOptions opts;
+  opts.use_counts = UseCountMode::FileBacked;
+  trace::MemoryTraceReader r(su.trace);
+  const CheckResult hy = check_hybrid(su.formula, r, opts);
+  EXPECT_TRUE(hy.ok) << hy.error;
+}
+
+TEST(Hybrid, RejectsSatRunTrace) {
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  EXPECT_FALSE(check_hybrid(f, r).ok);
+}
+
+TEST(Hybrid, RejectsCorruptedTraces) {
+  const Formula f = encode::pigeonhole(5);
+  for (const auto kind :
+       {trace::FaultKind::DropSource, trace::FaultKind::WrongSource,
+        trace::FaultKind::FlipLevel0Value, trace::FaultKind::DropDerivation,
+        trace::FaultKind::TruncateTrace}) {
+    bool fired_any = false;
+    for (const std::uint64_t target : {5ull, 0ull}) {
+      solver::Solver s;
+      s.add_formula(f);
+      trace::MemoryTraceWriter inner;
+      trace::FaultInjector injector(inner, kind, 7, target);
+      s.set_trace_writer(&injector);
+      ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+      if (!injector.fired()) continue;
+      fired_any = true;
+      const trace::MemoryTrace t = inner.take();
+      trace::MemoryTraceReader r(t);
+      const CheckResult hy = check_hybrid(f, r);
+      EXPECT_FALSE(hy.ok) << trace::to_string(kind);
+      break;
+    }
+    EXPECT_TRUE(fired_any) << trace::to_string(kind);
+  }
+}
+
+TEST(Hybrid, TrivialPreprocessingConflictAccepted) {
+  Formula f;
+  f.add_clause({Lit::pos(0)});
+  f.add_clause({Lit::neg(0)});
+  const SolvedUnsat su = solve_unsat(std::move(f));
+  trace::MemoryTraceReader r(su.trace);
+  EXPECT_TRUE(check_hybrid(su.formula, r).ok);
+}
+
+/// Property: hybrid agrees with both classic checkers across random
+/// instances.
+class HybridSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridSweep, ThreeCheckersAgree) {
+  const Formula f = encode::random_ksat(28, 150, 3, GetParam());
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  if (s.solve() != solver::SolveResult::Unsatisfiable) {
+    GTEST_SKIP() << "satisfiable draw";
+  }
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r1(t), r2(t), r3(t);
+  const CheckResult df = check_depth_first(f, r1);
+  const CheckResult bf = check_breadth_first(f, r2);
+  const CheckResult hy = check_hybrid(f, r3);
+  EXPECT_TRUE(df.ok) << df.error;
+  EXPECT_TRUE(bf.ok) << bf.error;
+  EXPECT_TRUE(hy.ok) << hy.error;
+  EXPECT_LE(hy.stats.clauses_built, bf.stats.clauses_built);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridSweep,
+                         ::testing::Values(5, 23, 71, 400, 1234));
+
+}  // namespace
+}  // namespace satproof::checker

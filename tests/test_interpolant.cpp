@@ -1,0 +1,206 @@
+// Tests for proof trimming and McMillan interpolation — the two
+// proof-consuming applications built on the DAG.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/circuit/tseitin.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/proof/interpolant.hpp"
+#include "src/proof/trim.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof::proof {
+namespace {
+
+struct Solved {
+  Formula formula;
+  trace::MemoryTrace trace;
+};
+
+Solved solve_unsat(Formula f) {
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  return {std::move(f), w.take()};
+}
+
+// ------------------------------------------------------------------ trim
+
+TEST(Trim, TrimmedTraceChecksAndShrinks) {
+  const Solved su = solve_unsat(encode::pigeonhole(6));
+  trace::MemoryTraceReader in(su.trace);
+  trace::MemoryTraceWriter out;
+  const TrimStats stats = trim_trace(in, out);
+  EXPECT_LE(stats.derivations_after, stats.derivations_before);
+  EXPECT_GT(stats.derivations_after, 0u);
+
+  const trace::MemoryTrace trimmed = out.take();
+  trace::MemoryTraceReader r1(trimmed);
+  const checker::CheckResult df = checker::check_depth_first(su.formula, r1);
+  ASSERT_TRUE(df.ok) << df.error;
+  trace::MemoryTraceReader r2(trimmed);
+  const checker::CheckResult bf =
+      checker::check_breadth_first(su.formula, r2);
+  ASSERT_TRUE(bf.ok) << bf.error;
+
+  // After trimming, the depth-first checker builds everything: the trace
+  // contains exactly the reachable subgraph.
+  EXPECT_EQ(df.stats.clauses_built, df.stats.total_derivations);
+  EXPECT_EQ(bf.stats.total_derivations, stats.derivations_after);
+}
+
+TEST(Trim, IdempotentOnTrimmedTraces) {
+  const Solved su = solve_unsat(encode::pigeonhole(5));
+  trace::MemoryTraceReader in(su.trace);
+  trace::MemoryTraceWriter once;
+  const TrimStats first = trim_trace(in, once);
+  const trace::MemoryTrace t1 = once.take();
+  trace::MemoryTraceReader in2(t1);
+  trace::MemoryTraceWriter twice;
+  const TrimStats second = trim_trace(in2, twice);
+  EXPECT_EQ(second.derivations_before, first.derivations_after);
+  EXPECT_EQ(second.derivations_after, first.derivations_after);
+}
+
+TEST(Trim, RejectsSatTrace) {
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader in(t);
+  trace::MemoryTraceWriter out;
+  EXPECT_THROW((void)trim_trace(in, out), std::runtime_error);
+}
+
+// ----------------------------------------------------------- interpolant
+
+/// Verifies the three defining interpolant properties with the solver.
+void verify_interpolant(const Formula& f, const std::vector<bool>& in_a,
+                        const Interpolant& itp) {
+  std::vector<ClauseId> a_ids, b_ids;
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    (in_a[id] ? a_ids : b_ids).push_back(id);
+  }
+
+  // A && !I must be UNSAT (A implies I).
+  {
+    Formula q = f.subformula(a_ids);
+    const auto var_of = circuit::tseitin_into(q, itp.netlist, itp.bindings);
+    q.add_clause({Lit::neg(var_of[itp.output])});
+    solver::Solver s;
+    s.add_formula(q);
+    EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable)
+        << "A does not imply the interpolant";
+  }
+  // I && B must be UNSAT.
+  {
+    Formula q = f.subformula(b_ids);
+    q.ensure_var(f.num_vars() == 0 ? 0 : f.num_vars() - 1);
+    const auto var_of = circuit::tseitin_into(q, itp.netlist, itp.bindings);
+    q.add_clause({Lit::pos(var_of[itp.output])});
+    solver::Solver s;
+    s.add_formula(q);
+    EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable)
+        << "interpolant does not refute B";
+  }
+  // Support: every bound input is a genuinely shared variable.
+  std::vector<bool> occurs_a(f.num_vars(), false), occurs_b(f.num_vars(), false);
+  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+    auto& occ = in_a[id] ? occurs_a : occurs_b;
+    for (const Lit lit : f.clause(id)) occ[lit.var()] = true;
+  }
+  for (const auto& [wire, var] : itp.bindings) {
+    EXPECT_TRUE(occurs_a[var] && occurs_b[var]) << "x" << var;
+  }
+}
+
+Interpolant interpolate(const Solved& su, const std::vector<bool>& in_a) {
+  trace::MemoryTraceReader r(su.trace);
+  const ProofDag dag = extract_proof(su.formula, r);
+  return mcmillan_interpolant(su.formula, dag, in_a);
+}
+
+TEST(Interpolant, PigeonholeNaturalSplit) {
+  // A: every pigeon sits somewhere; B: no hole holds two pigeons.
+  const Formula f = encode::pigeonhole(4);
+  std::vector<bool> in_a(f.num_clauses(), false);
+  for (ClauseId id = 0; id < 5; ++id) in_a[id] = true;  // 5 pigeons
+  const Solved su = solve_unsat(f);
+  const Interpolant itp = interpolate(su, in_a);
+  EXPECT_FALSE(itp.bindings.empty());
+  verify_interpolant(f, in_a, itp);
+}
+
+TEST(Interpolant, AllInA) {
+  const Formula f = encode::pigeonhole(3);
+  const std::vector<bool> in_a(f.num_clauses(), true);
+  const Solved su = solve_unsat(f);
+  const Interpolant itp = interpolate(su, in_a);
+  // With B empty there are no shared variables; the interpolant must be
+  // a constant that A implies and that refutes (empty) B: false.
+  EXPECT_TRUE(itp.bindings.empty());
+  verify_interpolant(f, in_a, itp);
+}
+
+TEST(Interpolant, AllInB) {
+  const Formula f = encode::pigeonhole(3);
+  const std::vector<bool> in_a(f.num_clauses(), false);
+  const Solved su = solve_unsat(f);
+  const Interpolant itp = interpolate(su, in_a);
+  EXPECT_TRUE(itp.bindings.empty());
+  verify_interpolant(f, in_a, itp);
+}
+
+TEST(Interpolant, PartitionSizeMismatchRejected) {
+  const Formula f = encode::pigeonhole(3);
+  const Solved su = solve_unsat(f);
+  trace::MemoryTraceReader r(su.trace);
+  const ProofDag dag = extract_proof(su.formula, r);
+  const std::vector<bool> wrong(f.num_clauses() + 1, true);
+  EXPECT_THROW((void)mcmillan_interpolant(su.formula, dag, wrong),
+               ProofError);
+}
+
+/// Property sweep: random splits of random UNSAT formulas all yield
+/// verified interpolants.
+class InterpolantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterpolantSweep, RandomSplitsVerify) {
+  util::Rng rng(GetParam());
+  int done = 0;
+  for (int round = 0; round < 20 && done < 4; ++round) {
+    const unsigned n = 16 + static_cast<unsigned>(rng.next_below(8));
+    Formula f = encode::random_ksat(n, static_cast<unsigned>(n * 5.0), 3,
+                                    rng.next_u64());
+    solver::Solver probe;
+    probe.add_formula(f);
+    trace::MemoryTraceWriter w;
+    probe.set_trace_writer(&w);
+    if (probe.solve() != solver::SolveResult::Unsatisfiable) continue;
+    ++done;
+    const Solved su{std::move(f), w.take()};
+
+    std::vector<bool> in_a(su.formula.num_clauses());
+    for (std::size_t i = 0; i < in_a.size(); ++i) in_a[i] = rng.next_bool();
+    const Interpolant itp = interpolate(su, in_a);
+    verify_interpolant(su.formula, in_a, itp);
+  }
+  EXPECT_GT(done, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpolantSweep,
+                         ::testing::Values(41, 82, 123, 164));
+
+}  // namespace
+}  // namespace satproof::proof

@@ -1,0 +1,236 @@
+// Tests for the proof-DAG extraction, metrics, and export formats.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/checker/resolution.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/proof/export.hpp"
+#include "src/proof/proof_dag.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::proof {
+namespace {
+
+struct Solved {
+  Formula formula;
+  trace::MemoryTrace trace;
+};
+
+Solved solve_unsat(Formula f) {
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  return {std::move(f), w.take()};
+}
+
+ProofDag extract(const Solved& su) {
+  trace::MemoryTraceReader r(su.trace);
+  return extract_proof(su.formula, r);
+}
+
+TEST(ProofDag, RootIsEmptyClauseAndLast) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  ASSERT_FALSE(dag.nodes.empty());
+  const auto& root = dag.nodes.back();
+  EXPECT_EQ(root.id, dag.root_id);
+  EXPECT_TRUE(root.lits.empty());
+  EXPECT_FALSE(root.sources.empty());
+}
+
+TEST(ProofDag, TopologicalOrderHolds) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  std::set<ClauseId> emitted;
+  for (const auto& n : dag.nodes) {
+    for (const ClauseId s : n.sources) {
+      EXPECT_TRUE(emitted.contains(s))
+          << "node " << n.id << " uses source " << s << " before emission";
+    }
+    emitted.insert(n.id);
+  }
+}
+
+TEST(ProofDag, EveryDerivedNodeIsTheResolventOfItsSources) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  std::unordered_map<ClauseId, const checker::SortedClause*> by_id;
+  for (const auto& n : dag.nodes) by_id[n.id] = &n.lits;
+  for (const auto& n : dag.nodes) {
+    if (n.sources.empty()) continue;
+    checker::ChainResolver chain;
+    chain.start(*by_id.at(n.sources[0]));
+    for (std::size_t i = 1; i < n.sources.size(); ++i) {
+      ASSERT_EQ(chain.step(*by_id.at(n.sources[i])).status,
+                checker::ResolveStatus::Ok)
+          << "node " << n.id;
+    }
+    auto got = chain.take();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, n.lits) << "node " << n.id;
+  }
+}
+
+TEST(ProofDag, LeavesAreOriginalClauses) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  for (const auto& n : dag.nodes) {
+    if (n.sources.empty()) {
+      EXPECT_LT(n.id, dag.num_original);
+      EXPECT_EQ(n.depth, 0u);
+      // Leaf literals match the canonical original clause.
+      EXPECT_EQ(n.lits, checker::canonicalize(su.formula.clause(n.id)));
+    } else {
+      EXPECT_GT(n.depth, 0u);
+    }
+  }
+}
+
+TEST(ProofDag, DepthIsOnePlusMaxSourceDepth) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  std::unordered_map<ClauseId, unsigned> depth;
+  for (const auto& n : dag.nodes) depth[n.id] = n.depth;
+  for (const auto& n : dag.nodes) {
+    if (n.sources.empty()) continue;
+    unsigned expect = 0;
+    for (const ClauseId s : n.sources) {
+      expect = std::max(expect, depth.at(s) + 1);
+    }
+    EXPECT_EQ(n.depth, expect) << "node " << n.id;
+  }
+}
+
+TEST(ProofDag, StatsAreConsistent) {
+  const Solved su = solve_unsat(encode::pigeonhole(5));
+  const ProofDag dag = extract(su);
+  const ProofStats st = compute_stats(dag);
+  EXPECT_EQ(st.leaves + st.derived, dag.nodes.size());
+  EXPECT_GT(st.resolutions, 0u);
+  EXPECT_GT(st.depth, 1u);
+  EXPECT_GT(st.max_clause_width, 0u);
+  EXPECT_GT(st.avg_clause_width, 0.0);
+  EXPECT_LE(st.leaves, dag.num_original);
+}
+
+TEST(ProofDag, SatTraceRejected) {
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  EXPECT_THROW((void)extract_proof(f, r), ProofError);
+}
+
+TEST(ProofDag, IndexOfFindsNodes) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  const auto idx = dag.index_of(dag.root_id);
+  ASSERT_NE(idx, ~std::size_t{0});
+  EXPECT_EQ(dag.nodes[idx].id, dag.root_id);
+  EXPECT_EQ(dag.index_of(999999), ~std::size_t{0});
+}
+
+TEST(Export, DotContainsRootAndEdges) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  std::ostringstream out;
+  write_dot(out, dag);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph proof"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Export, DotHonoursNodeBudget) {
+  const Solved su = solve_unsat(encode::pigeonhole(5));
+  const ProofDag dag = extract(su);
+  DotOptions opts;
+  opts.max_nodes = 10;
+  std::ostringstream out;
+  write_dot(out, dag, opts);
+  // Count node declarations (lines starting with "  n<digit>... [").
+  std::size_t node_count = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(" [") != std::string::npos &&
+        line.find("->") == std::string::npos &&
+        line.rfind("  n", 0) == 0 && line.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(line[3])) != 0) {
+      ++node_count;
+    }
+  }
+  EXPECT_LE(node_count, 10u);
+}
+
+TEST(Export, TraceCheckRoundTripStructure) {
+  const Solved su = solve_unsat(encode::pigeonhole(4));
+  const ProofDag dag = extract(su);
+  std::ostringstream out;
+  write_tracecheck(out, dag);
+
+  // Parse back: every line is "<id> lits 0 antes 0"; the last has no lits.
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  std::string last;
+  while (std::getline(in, line)) {
+    ++lines;
+    last = line;
+    std::istringstream ls(line);
+    long long id = 0;
+    ASSERT_TRUE(static_cast<bool>(ls >> id));
+    EXPECT_GT(id, 0);  // 1-based
+    int zeros = 0;
+    long long tok = 0;
+    while (ls >> tok) {
+      if (tok == 0) ++zeros;
+    }
+    EXPECT_EQ(zeros, 2) << line;
+  }
+  EXPECT_EQ(lines, dag.nodes.size());
+  // Root line: "<id> 0 <sources> 0" — literal section empty.
+  std::istringstream rl(last);
+  long long id = 0, first = -1;
+  rl >> id >> first;
+  EXPECT_EQ(first, 0);
+}
+
+/// Property: proofs extract cleanly from random UNSAT instances.
+class ProofSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProofSweep, RandomUnsatInstancesYieldConsistentDags) {
+  const Formula f = encode::random_ksat(25, 150, 3, GetParam());
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  if (s.solve() != solver::SolveResult::Unsatisfiable) {
+    GTEST_SKIP() << "instance happened to be satisfiable";
+  }
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  const ProofDag dag = extract_proof(f, r);
+  const ProofStats st = compute_stats(dag);
+  EXPECT_GT(st.leaves, 0u);
+  EXPECT_GE(st.derived, 1u);
+  EXPECT_TRUE(dag.nodes.back().lits.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProofSweep,
+                         ::testing::Values(3, 17, 91, 222, 777));
+
+}  // namespace
+}  // namespace satproof::proof

@@ -1,0 +1,188 @@
+// Property-based sweeps:
+//  - the solver agrees with a brute-force oracle on small random formulas;
+//  - on every UNSAT outcome, both checkers accept the trace and the
+//    extracted core is itself unsatisfiable;
+//  - on every SAT outcome, the model satisfies the formula.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/cnf/model.hpp"
+#include "src/encode/coloring.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof {
+namespace {
+
+/// Brute-force satisfiability oracle for formulas with few variables.
+bool brute_force_sat(const Formula& f) {
+  const Var n = f.num_vars();
+  EXPECT_LE(n, 20u) << "oracle limited to small formulas";
+  for (std::uint64_t assignment = 0; assignment < (1ull << n); ++assignment) {
+    Model m(n);
+    for (Var v = 0; v < n; ++v) {
+      m[v] = ((assignment >> v) & 1) != 0 ? LBool::True : LBool::False;
+    }
+    if (satisfies(f, m)) return true;
+  }
+  return false;
+}
+
+/// Solves with tracing; on UNSAT validates the proof with both checkers and
+/// re-solves the core; on SAT verifies the model. Returns the result.
+solver::SolveResult solve_and_validate(const Formula& f,
+                                       const solver::SolverOptions& opts = {}) {
+  solver::Solver s(opts);
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  const solver::SolveResult res = s.solve();
+
+  if (res == solver::SolveResult::Satisfiable) {
+    EXPECT_TRUE(satisfies(f, s.model()));
+    return res;
+  }
+  EXPECT_EQ(res, solver::SolveResult::Unsatisfiable);
+
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r1(t);
+  const checker::CheckResult df = checker::check_depth_first(f, r1);
+  EXPECT_TRUE(df.ok) << df.error;
+  trace::MemoryTraceReader r2(t);
+  const checker::CheckResult bf = checker::check_breadth_first(f, r2);
+  EXPECT_TRUE(bf.ok) << bf.error;
+  EXPECT_EQ(df.stats.total_derivations, bf.stats.total_derivations);
+
+  if (df.ok && !df.core.empty()) {
+    solver::Solver core_solver;
+    core_solver.add_formula(f.subformula(df.core));
+    EXPECT_EQ(core_solver.solve(), solver::SolveResult::Unsatisfiable)
+        << "extracted core must be unsatisfiable";
+  }
+  return res;
+}
+
+class OracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSweep, SolverMatchesBruteForceOnTinyFormulas) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const unsigned n = 4 + static_cast<unsigned>(rng.next_below(6));  // 4..9
+    const unsigned m = static_cast<unsigned>(
+        n * (2.0 + rng.next_double() * 4.0));  // ratio 2..6
+    const unsigned k = 2 + static_cast<unsigned>(rng.next_below(2));  // 2..3
+    const Formula f = encode::random_ksat(n, m, k, rng.next_u64());
+    const bool expected = brute_force_sat(f);
+    const solver::SolveResult got = solve_and_validate(f);
+    EXPECT_EQ(got == solver::SolveResult::Satisfiable, expected)
+        << "n=" << n << " m=" << m << " k=" << k << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class RandomKsatSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomKsatSweep, NearThresholdInstancesValidateEitherWay) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    // Around the 3-SAT phase transition both outcomes occur.
+    const unsigned n = 20 + static_cast<unsigned>(rng.next_below(15));
+    const unsigned m = static_cast<unsigned>(n * 4.27);
+    const Formula f = encode::random_ksat(n, m, 3, rng.next_u64());
+    solve_and_validate(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKsatSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+class ColoringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringSweep, RandomGraphsValidateEitherWay) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const unsigned n = 8 + static_cast<unsigned>(rng.next_below(5));
+    const unsigned colors = 3 + static_cast<unsigned>(rng.next_below(2));
+    const Formula f =
+        encode::random_graph_coloring(n, 0.5, colors, rng.next_u64());
+    solve_and_validate(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringSweep, ::testing::Values(7, 14, 21));
+
+/// The same sweeps under non-default solver configurations: the checker
+/// must accept traces regardless of heuristics (restarts, deletion, phase,
+/// level-0 elimination).
+struct ConfigCase {
+  const char* name;
+  solver::SolverOptions opts;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigSweep, TracesValidUnderAllConfigurations) {
+  solver::SolverOptions opts;
+  switch (GetParam()) {
+    case 0:
+      opts.enable_restarts = false;
+      break;
+    case 1:
+      opts.enable_clause_deletion = false;
+      break;
+    case 2:
+      opts.eliminate_level0_lits = false;
+      break;
+    case 3:
+      opts.restart_first = 8;  // very frequent restarts
+      opts.restart_inc = 1.1;
+      break;
+    case 4:
+      opts.random_decision_freq = 0.2;
+      break;
+    case 5:
+      opts.default_phase = true;
+      break;
+    case 6:
+      opts.learned_size_factor = 0.01;  // aggressive deletion
+      opts.learned_growth = 1.01;
+      break;
+    case 7:
+      opts.minimize_learned = true;
+      break;
+    case 8:
+      opts.restart_schedule = solver::SolverOptions::RestartSchedule::Luby;
+      opts.restart_first = 16;
+      break;
+    case 9:
+      // Everything non-default at once.
+      opts.minimize_learned = true;
+      opts.restart_schedule = solver::SolverOptions::RestartSchedule::Luby;
+      opts.eliminate_level0_lits = false;
+      opts.random_decision_freq = 0.1;
+      opts.learned_size_factor = 0.05;
+      break;
+    default:
+      break;
+  }
+  util::Rng rng(900 + GetParam());
+  for (int round = 0; round < 8; ++round) {
+    const unsigned n = 16 + static_cast<unsigned>(rng.next_below(10));
+    const Formula f = encode::random_ksat(
+        n, static_cast<unsigned>(n * 5.0), 3, rng.next_u64());
+    const auto res = solve_and_validate(f, opts);
+    EXPECT_NE(res, solver::SolveResult::Unknown);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConfigSweep,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace satproof

@@ -1,0 +1,215 @@
+// Tests for the structural rewriter and the sorting networks: exhaustive
+// functional equivalence, 0-1-principle sorting checks, and
+// miter-to-UNSAT flows with validated proofs.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/depth_first.hpp"
+#include "src/circuit/miter.hpp"
+#include "src/circuit/rewrite.hpp"
+#include "src/circuit/sorting.hpp"
+#include "src/circuit/tseitin.hpp"
+#include "src/circuit/words.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof::circuit {
+namespace {
+
+std::vector<bool> bits_of(unsigned value, std::size_t width) {
+  std::vector<bool> out(width);
+  for (std::size_t i = 0; i < width; ++i) out[i] = ((value >> i) & 1) != 0;
+  return out;
+}
+
+/// A small circuit exercising every gate kind.
+struct EveryGate {
+  Netlist n;
+  std::vector<Wire> outputs;
+};
+
+EveryGate every_gate_circuit() {
+  EveryGate eg;
+  Netlist& n = eg.n;
+  const Wire a = n.add_input();
+  const Wire b = n.add_input();
+  const Wire c = n.add_input();
+  eg.outputs.push_back(n.make_and(a, b));
+  eg.outputs.push_back(n.make_or(b, c));
+  eg.outputs.push_back(n.make_xor(a, c));
+  eg.outputs.push_back(n.make_mux(a, b, c));
+  eg.outputs.push_back(n.make_not(eg.outputs[0]));
+  eg.outputs.push_back(n.make_xor(eg.outputs[1], eg.outputs[3]));
+  eg.outputs.push_back(n.constant(true));
+  return eg;
+}
+
+TEST(Rewrite, PreservesFunctionExhaustively) {
+  const EveryGate eg = every_gate_circuit();
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    RewriteOptions opts;
+    opts.seed = seed;
+    opts.rewrite_freq = 1.0;  // rewrite everything
+    opts.double_negation_freq = 0.5;
+    const RewriteResult rw = rewrite(eg.n, opts);
+    ASSERT_EQ(rw.netlist.num_inputs(), eg.n.num_inputs());
+    for (unsigned v = 0; v < 8; ++v) {
+      const auto in = bits_of(v, 3);
+      const auto sim_old = eg.n.simulate(in);
+      const auto sim_new = rw.netlist.simulate(in);
+      for (const Wire w : eg.outputs) {
+        EXPECT_EQ(sim_old[w], sim_new[rw.wire_map[w]])
+            << "seed " << seed << " input " << v << " wire " << w;
+      }
+    }
+  }
+}
+
+TEST(Rewrite, ActuallyChangesStructure) {
+  const EveryGate eg = every_gate_circuit();
+  RewriteOptions opts;
+  opts.rewrite_freq = 1.0;
+  const RewriteResult rw = rewrite(eg.n, opts);
+  EXPECT_GT(rw.netlist.num_wires(), eg.n.num_wires());
+}
+
+TEST(Rewrite, MiterIsUnsatWithCheckedProof) {
+  // A 6-bit adder rewritten: the miter must be UNSAT, and the proof must
+  // validate — a full synthesized-vs-golden equivalence flow.
+  Netlist n;
+  const Word a = input_word(n, 6);
+  const Word b = input_word(n, 6);
+  const AdderResult sum = ripple_carry_adder(n, a, b);
+  std::vector<Wire> outputs = sum.sum;
+  outputs.push_back(sum.carry_out);
+
+  RewriteOptions opts;
+  opts.seed = 7;
+  opts.rewrite_freq = 0.8;
+  const RewrittenMiter rm = rewrite_miter(n, outputs, opts);
+  const Formula f = miter_to_cnf(rm.netlist, rm.miter_out);
+
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  const checker::CheckResult check = checker::check_depth_first(f, r);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(Rewrite, BrokenRewriteIsDetectedByMiter) {
+  // Sanity for the flow itself: mitering against a DIFFERENT function is
+  // SAT (the instrument can detect inequivalence, not just confirm
+  // equivalence).
+  Netlist n;
+  const Wire a = n.add_input();
+  const Wire b = n.add_input();
+  const Wire x = n.make_xor(a, b);
+  Netlist m;
+  const Wire ma = m.add_input();
+  const Wire mb = m.add_input();
+  const Wire y = m.make_or(ma, mb);  // not XOR
+
+  Netlist combined;
+  const Wire ia = combined.add_input();
+  const Wire ib = combined.add_input();
+  std::vector<Wire> map_in_a(n.num_wires(), kInvalidWire);
+  map_in_a[a] = ia;
+  map_in_a[b] = ib;
+  std::vector<Wire> map_in_b(m.num_wires(), kInvalidWire);
+  map_in_b[ma] = ia;
+  map_in_b[mb] = ib;
+  const auto m1 = copy_into(combined, n, map_in_a);
+  const auto m2 = copy_into(combined, m, map_in_b);
+  const Wire miter = combined.make_xor(m1[x], m2[y]);
+  const Wire asserted[] = {miter};
+  const TseitinResult ts = tseitin(combined, asserted);
+  solver::Solver s;
+  s.add_formula(ts.formula);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+}
+
+// ---------------------------------------------------------------- sorting
+
+unsigned popcount_bits(unsigned v) {
+  unsigned c = 0;
+  while (v != 0) {
+    c += v & 1;
+    v >>= 1;
+  }
+  return c;
+}
+
+/// A sorted-descending bit vector with k ones is 1^k 0^(n-k).
+void expect_sorted(const Netlist& n, const Word& out, unsigned input_bits,
+                   std::size_t width) {
+  const auto sim = n.simulate(bits_of(input_bits, width));
+  const unsigned ones = popcount_bits(input_bits);
+  for (std::size_t i = 0; i < width; ++i) {
+    EXPECT_EQ(sim[out[i]], i < ones)
+        << "input " << input_bits << " position " << i;
+  }
+}
+
+TEST(Sorting, TranspositionSortsAllVectors) {
+  for (const std::size_t width : {1u, 2u, 3u, 5u, 7u}) {
+    Netlist n;
+    const Word in = input_word(n, width);
+    const Word out = transposition_sort(n, in);
+    for (unsigned v = 0; v < (1u << width); ++v) {
+      expect_sorted(n, out, v, width);
+    }
+  }
+}
+
+TEST(Sorting, BatcherSortsAllVectors) {
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    Netlist n;
+    const Word in = input_word(n, width);
+    const Word out = odd_even_mergesort(n, in);
+    for (unsigned v = 0; v < (1u << width); ++v) {
+      expect_sorted(n, out, v, width);
+    }
+  }
+}
+
+TEST(Sorting, BatcherRejectsNonPowerOfTwo) {
+  Netlist n;
+  const Word in = input_word(n, 6);
+  EXPECT_THROW((void)odd_even_mergesort(n, in), std::invalid_argument);
+}
+
+TEST(Sorting, BatcherUsesFewerComparatorsThanTransposition) {
+  Netlist n1, n2;
+  const Word in1 = input_word(n1, 16);
+  const Word in2 = input_word(n2, 16);
+  (void)odd_even_mergesort(n1, in1);
+  (void)transposition_sort(n2, in2);
+  EXPECT_LT(n1.num_wires(), n2.num_wires());
+}
+
+TEST(Sorting, NetworkMiterUnsatWithCheckedProof) {
+  constexpr std::size_t kWidth = 8;
+  Netlist n;
+  const Word in = input_word(n, kWidth);
+  const Word batcher = odd_even_mergesort(n, in);
+  const Word bubble = transposition_sort(n, in);
+  const Wire m = build_miter(n, batcher, bubble);
+  const Formula f = miter_to_cnf(n, m);
+
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  EXPECT_TRUE(checker::check_depth_first(f, r).ok);
+}
+
+}  // namespace
+}  // namespace satproof::circuit

@@ -1,0 +1,202 @@
+// Tests for the traceable preprocessor (subsumption, self-subsuming
+// resolution, bounded variable elimination) and the preprocess-then-solve
+// pipeline: answers must match plain solving, SAT models must satisfy the
+// original formula after reconstruction, and UNSAT traces must check
+// against the original formula.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/encode/suite.hpp"
+#include "src/simplify/pipeline.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+#include "src/util/rng.hpp"
+
+namespace satproof::simplify {
+namespace {
+
+Formula from_dimacs_clauses(
+    std::initializer_list<std::initializer_list<int>> clauses, Var vars) {
+  Formula f(vars);
+  for (const auto& c : clauses) {
+    std::vector<Lit> lits;
+    for (const int d : c) lits.push_back(Lit::from_dimacs(d));
+    f.add_clause(lits);
+  }
+  return f;
+}
+
+TEST(Preprocessor, SubsumptionRemovesSupersets) {
+  // (1 2) subsumes (1 2 3) and (1 2 -4).
+  const Formula f =
+      from_dimacs_clauses({{1, 2}, {1, 2, 3}, {1, 2, -4}, {-1, 4}}, 4);
+  PreprocessOptions opts;
+  opts.enable_bve = false;
+  opts.enable_self_subsumption = false;
+  const PreprocessResult pre = preprocess(f, opts, nullptr);
+  EXPECT_EQ(pre.stats.subsumed, 2u);
+  EXPECT_EQ(pre.clauses.size(), 2u);
+}
+
+TEST(Preprocessor, SelfSubsumptionStrengthens) {
+  // (1 2) against (-1 2 3): strengthen to (2 3).
+  const Formula f = from_dimacs_clauses({{1, 2}, {-1, 2, 3}}, 3);
+  PreprocessOptions opts;
+  opts.enable_bve = false;
+  trace::MemoryTraceWriter w;
+  const PreprocessResult pre = preprocess(f, opts, &w);
+  EXPECT_EQ(pre.stats.strengthened, 1u);
+  // The strengthened clause carries a fresh ID with a derivation record.
+  ASSERT_EQ(w.trace().derivations.size(), 1u);
+  EXPECT_EQ(w.trace().derivations[0].id, 2u);
+  EXPECT_EQ(w.trace().derivations[0].sources,
+            (std::vector<ClauseId>{1, 0}));
+  bool found = false;
+  for (const auto& c : pre.clauses) {
+    if (c.id == 2) {
+      found = true;
+      EXPECT_EQ(c.lits.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Preprocessor, BveEliminatesLowOccurrenceVars) {
+  // x1 appears once positively, once negatively: eliminated, one resolvent.
+  const Formula f = from_dimacs_clauses({{1, 2}, {-1, 3}, {2, 3, 4}}, 4);
+  PreprocessOptions opts;
+  opts.enable_subsumption = false;
+  opts.enable_self_subsumption = false;
+  const PreprocessResult pre = preprocess(f, opts, nullptr);
+  EXPECT_GE(pre.stats.eliminated_vars, 1u);
+  for (const auto& c : pre.clauses) {
+    for (const Lit lit : c.lits) EXPECT_NE(lit.var(), 0u);
+  }
+  ASSERT_FALSE(pre.eliminations.empty());
+}
+
+TEST(Preprocessor, PureLiteralEliminatedWithoutResolvents) {
+  // x1 occurs only positively.
+  const Formula f = from_dimacs_clauses({{1, 2}, {1, -3}, {2, 3}}, 3);
+  const PreprocessResult pre = preprocess(f, PreprocessOptions{}, nullptr);
+  EXPECT_GE(pre.stats.eliminated_vars, 1u);
+  EXPECT_GE(pre.stats.clauses_removed, 2u);
+}
+
+TEST(Preprocessor, DirectContradictionProvedDuringPreprocessing) {
+  const Formula f = from_dimacs_clauses({{1}, {-1}}, 1);
+  trace::MemoryTraceWriter w;
+  const PreprocessResult pre = preprocess(f, PreprocessOptions{}, &w);
+  EXPECT_TRUE(pre.proved_unsat);
+  EXPECT_TRUE(w.trace().has_final);
+
+  // The completed trace must check against the original formula.
+  trace::MemoryTraceReader r(w.trace());
+  const checker::CheckResult res = checker::check_depth_first(f, r);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(Preprocessor, TautologiesDropped) {
+  const Formula f = from_dimacs_clauses({{1, -1, 2}, {2, 3}}, 3);
+  PreprocessOptions opts;
+  opts.enable_bve = false;
+  const PreprocessResult pre = preprocess(f, opts, nullptr);
+  for (const auto& c : pre.clauses) EXPECT_NE(c.id, 0u);
+}
+
+TEST(Pipeline, UnsatTraceChecksAgainstOriginalFormula) {
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Small)) {
+    trace::MemoryTraceWriter w;
+    const SimplifiedSolveResult res =
+        solve_simplified(inst.formula, {}, {}, &w);
+    ASSERT_EQ(res.result, solver::SolveResult::Unsatisfiable) << inst.name;
+
+    trace::MemoryTraceReader r1(w.trace());
+    const checker::CheckResult df =
+        checker::check_depth_first(inst.formula, r1);
+    EXPECT_TRUE(df.ok) << inst.name << ": " << df.error;
+    trace::MemoryTraceReader r2(w.trace());
+    const checker::CheckResult bf =
+        checker::check_breadth_first(inst.formula, r2);
+    EXPECT_TRUE(bf.ok) << inst.name << ": " << bf.error;
+  }
+}
+
+TEST(Pipeline, PreprocessingActuallyDoesSomethingOnTheSuite) {
+  std::uint64_t total_work = 0;
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Small)) {
+    const PreprocessResult pre =
+        preprocess(inst.formula, PreprocessOptions{}, nullptr);
+    total_work += pre.stats.subsumed + pre.stats.strengthened +
+                  pre.stats.eliminated_vars;
+  }
+  EXPECT_GT(total_work, 0u);
+}
+
+TEST(Pipeline, SatModelsReconstructThroughEliminations) {
+  util::Rng rng(512);
+  int sat_seen = 0;
+  for (int round = 0; round < 30; ++round) {
+    const unsigned n = 20 + static_cast<unsigned>(rng.next_below(15));
+    const Formula f = encode::random_ksat(
+        n, static_cast<unsigned>(n * 3.0), 3, rng.next_u64());
+    const SimplifiedSolveResult res = solve_simplified(f);
+    if (res.result != solver::SolveResult::Satisfiable) continue;
+    ++sat_seen;
+    EXPECT_TRUE(satisfies(f, res.model)) << "round " << round;
+  }
+  EXPECT_GT(sat_seen, 5);
+}
+
+/// Property: pipeline answers agree with the plain solver, and pipeline
+/// UNSAT traces check against the original formula.
+class PipelineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSweep, AgreesWithPlainSolvingAndTracesCheck) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const unsigned n = 15 + static_cast<unsigned>(rng.next_below(12));
+    const Formula f = encode::random_ksat(
+        n, static_cast<unsigned>(n * 4.27), 3, rng.next_u64());
+
+    solver::Solver plain;
+    plain.add_formula(f);
+    const auto expected = plain.solve();
+
+    trace::MemoryTraceWriter w;
+    const SimplifiedSolveResult res = solve_simplified(f, {}, {}, &w);
+    ASSERT_EQ(res.result, expected) << "round " << round;
+
+    if (res.result == solver::SolveResult::Satisfiable) {
+      EXPECT_TRUE(satisfies(f, res.model));
+    } else {
+      trace::MemoryTraceReader r(w.trace());
+      const checker::CheckResult check = checker::check_depth_first(f, r);
+      EXPECT_TRUE(check.ok) << check.error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep,
+                         ::testing::Values(17, 34, 51, 68, 85));
+
+TEST(Pipeline, PigeonholeSurvivesAggressivePreprocessing) {
+  PreprocessOptions popts;
+  popts.bve_max_occurrences = 64;
+  popts.bve_max_growth = 4;
+  popts.rounds = 10;
+  trace::MemoryTraceWriter w;
+  const Formula f = encode::pigeonhole(5);
+  const SimplifiedSolveResult res = solve_simplified(f, {}, popts, &w);
+  ASSERT_EQ(res.result, solver::SolveResult::Unsatisfiable);
+  trace::MemoryTraceReader r(w.trace());
+  const checker::CheckResult check = checker::check_breadth_first(f, r);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace satproof::simplify

@@ -1,0 +1,49 @@
+// End-to-end smoke test: solve, trace, check with both checkers.
+
+#include <gtest/gtest.h>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/cnf/model.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof {
+namespace {
+
+TEST(Smoke, PigeonholeUnsatAndBothCheckersAccept) {
+  const Formula f = encode::pigeonhole(4);
+
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter writer;
+  s.set_trace_writer(&writer);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+
+  const trace::MemoryTrace t = writer.take();
+  EXPECT_TRUE(t.has_final);
+
+  trace::MemoryTraceReader r1(t);
+  const checker::CheckResult df = checker::check_depth_first(f, r1);
+  EXPECT_TRUE(df.ok) << df.error;
+
+  trace::MemoryTraceReader r2(t);
+  const checker::CheckResult bf = checker::check_breadth_first(f, r2);
+  EXPECT_TRUE(bf.ok) << bf.error;
+}
+
+TEST(Smoke, SatisfiableInstanceYieldsVerifiedModel) {
+  Formula f(3);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  f.add_clause({Lit::neg(0), Lit::pos(2)});
+  f.add_clause({Lit::neg(1), Lit::neg(2)});
+
+  solver::Solver s;
+  s.add_formula(f);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+  EXPECT_TRUE(satisfies(f, s.model()));
+}
+
+}  // namespace
+}  // namespace satproof

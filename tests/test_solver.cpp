@@ -1,0 +1,397 @@
+// Unit tests for the CDCL solver: small instances with known answers,
+// trace invariants, options, and the clause database / VSIDS heap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cnf/model.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/solver/clause_db.hpp"
+#include "src/solver/solver.hpp"
+#include "src/solver/var_order.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::solver {
+namespace {
+
+SolveResult solve(const Formula& f, Solver& s) {
+  s.add_formula(f);
+  return s.solve();
+}
+
+TEST(Solver, EmptyFormulaIsSatisfiable) {
+  Solver s;
+  EXPECT_EQ(s.solve(), SolveResult::Satisfiable);
+}
+
+TEST(Solver, EmptyClauseIsUnsatisfiable) {
+  Formula f;
+  f.add_clause(std::initializer_list<Lit>{});
+  Solver s;
+  EXPECT_EQ(solve(f, s), SolveResult::Unsatisfiable);
+}
+
+TEST(Solver, SingleUnitClause) {
+  Formula f;
+  f.add_clause({Lit::pos(0)});
+  Solver s;
+  ASSERT_EQ(solve(f, s), SolveResult::Satisfiable);
+  EXPECT_EQ(s.model()[0], LBool::True);
+}
+
+TEST(Solver, ContradictoryUnitsUnsat) {
+  Formula f;
+  f.add_clause({Lit::pos(0)});
+  f.add_clause({Lit::neg(0)});
+  Solver s;
+  EXPECT_EQ(solve(f, s), SolveResult::Unsatisfiable);
+}
+
+TEST(Solver, ChainPropagationUnsat) {
+  // x0, x0->x1, x1->x2, ~x2: UNSAT purely by BCP at level 0.
+  Formula f;
+  f.add_clause({Lit::pos(0)});
+  f.add_clause({Lit::neg(0), Lit::pos(1)});
+  f.add_clause({Lit::neg(1), Lit::pos(2)});
+  f.add_clause({Lit::neg(2)});
+  Solver s;
+  EXPECT_EQ(solve(f, s), SolveResult::Unsatisfiable);
+  EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, AllModelsVariablesAssigned) {
+  Formula f(5);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  Solver s;
+  ASSERT_EQ(solve(f, s), SolveResult::Satisfiable);
+  ASSERT_EQ(s.model().size(), 5u);
+  for (const LBool v : s.model()) EXPECT_NE(v, LBool::Undef);
+  EXPECT_TRUE(satisfies(f, s.model()));
+}
+
+TEST(Solver, DuplicateLiteralClauseBehavesAsUnit) {
+  Formula f;
+  f.add_clause({Lit::pos(1), Lit::pos(1)});
+  f.add_clause({Lit::neg(1)});
+  Solver s;
+  EXPECT_EQ(solve(f, s), SolveResult::Unsatisfiable);
+}
+
+TEST(Solver, TautologicalClauseIgnored) {
+  Formula f;
+  f.add_clause({Lit::pos(0), Lit::neg(0)});  // permanently satisfied
+  f.add_clause({Lit::pos(1)});
+  Solver s;
+  ASSERT_EQ(solve(f, s), SolveResult::Satisfiable);
+  EXPECT_TRUE(satisfies(f, s.model()));
+}
+
+TEST(Solver, PigeonholeNeedsSearch) {
+  Solver s;
+  ASSERT_EQ(solve(encode::pigeonhole(4), s), SolveResult::Unsatisfiable);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().learned_clauses, 0u);
+  EXPECT_GT(s.stats().decisions, 0u);
+}
+
+TEST(Solver, SatisfiablePigeonholeVariant) {
+  // n pigeons in n holes is satisfiable.
+  Formula f;
+  const unsigned n = 4;
+  for (unsigned i = 0; i < n; ++i) {
+    std::vector<Lit> c;
+    for (unsigned j = 0; j < n; ++j) {
+      c.push_back(Lit::pos(static_cast<Var>(i * n + j)));
+    }
+    f.add_clause(c);
+  }
+  for (unsigned j = 0; j < n; ++j) {
+    for (unsigned i1 = 0; i1 < n; ++i1) {
+      for (unsigned i2 = i1 + 1; i2 < n; ++i2) {
+        f.add_clause({Lit::neg(static_cast<Var>(i1 * n + j)),
+                      Lit::neg(static_cast<Var>(i2 * n + j))});
+      }
+    }
+  }
+  Solver s;
+  ASSERT_EQ(solve(f, s), SolveResult::Satisfiable);
+  EXPECT_TRUE(satisfies(f, s.model()));
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+  SolverOptions opts;
+  opts.conflict_budget = 1;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(5), s), SolveResult::Unknown);
+}
+
+TEST(Solver, SolveIsSingleShot) {
+  Solver s;
+  ASSERT_EQ(s.solve(), SolveResult::Satisfiable);
+  EXPECT_THROW((void)s.solve(), std::logic_error);
+}
+
+TEST(Solver, AddClauseAfterSolveThrows) {
+  Solver s;
+  (void)s.solve();
+  const Lit lits[] = {Lit::pos(0)};
+  EXPECT_THROW(s.add_clause(lits), std::logic_error);
+}
+
+TEST(Solver, WorksWithoutRestartsAndDeletion) {
+  SolverOptions opts;
+  opts.enable_restarts = false;
+  opts.enable_clause_deletion = false;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(5), s), SolveResult::Unsatisfiable);
+  EXPECT_EQ(s.stats().restarts, 0u);
+  EXPECT_EQ(s.stats().deleted_clauses, 0u);
+}
+
+TEST(Solver, RestartsHappenOnHardInstances) {
+  SolverOptions opts;
+  opts.restart_first = 10;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(6), s), SolveResult::Unsatisfiable);
+  EXPECT_GT(s.stats().restarts, 0u);
+}
+
+TEST(Solver, ClauseDeletionKicksIn) {
+  SolverOptions opts;
+  opts.learned_size_factor = 0.001;  // force an early, tiny learned limit
+  Solver s(opts);
+  // The limit floors at 4000 learned clauses, so use an instance that
+  // learns more than that.
+  EXPECT_EQ(solve(encode::pigeonhole(7), s), SolveResult::Unsatisfiable);
+  EXPECT_GT(s.stats().deleted_clauses, 0u);
+}
+
+TEST(Solver, KeepLevel0LiteralsOptionStillCorrect) {
+  SolverOptions opts;
+  opts.eliminate_level0_lits = false;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(5), s), SolveResult::Unsatisfiable);
+}
+
+TEST(Solver, MinimizationShortensLearnedClauses) {
+  solver::SolverOptions plain;
+  Solver s_plain(plain);
+  ASSERT_EQ(solve(encode::pigeonhole(6), s_plain),
+            SolveResult::Unsatisfiable);
+
+  solver::SolverOptions min;
+  min.minimize_learned = true;
+  Solver s_min(min);
+  ASSERT_EQ(solve(encode::pigeonhole(6), s_min), SolveResult::Unsatisfiable);
+
+  EXPECT_GT(s_min.stats().minimized_literals, 0u);
+  // Average learned-clause length must not grow with minimization on.
+  const double avg_plain =
+      static_cast<double>(s_plain.stats().learned_literals) /
+      static_cast<double>(s_plain.stats().learned_clauses);
+  const double avg_min =
+      static_cast<double>(s_min.stats().learned_literals) /
+      static_cast<double>(s_min.stats().learned_clauses);
+  EXPECT_LE(avg_min, avg_plain);
+}
+
+TEST(Solver, LubyRestartsStillComplete) {
+  SolverOptions opts;
+  opts.restart_schedule = SolverOptions::RestartSchedule::Luby;
+  opts.restart_first = 8;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(6), s), SolveResult::Unsatisfiable);
+  EXPECT_GT(s.stats().restarts, 0u);
+}
+
+TEST(Solver, RandomDecisionsStillComplete) {
+  SolverOptions opts;
+  opts.random_decision_freq = 0.3;
+  Solver s(opts);
+  EXPECT_EQ(solve(encode::pigeonhole(5), s), SolveResult::Unsatisfiable);
+}
+
+TEST(Solver, StatsPopulatedAfterSearch) {
+  Solver s;
+  ASSERT_EQ(solve(encode::pigeonhole(5), s), SolveResult::Unsatisfiable);
+  const SolverStats& st = s.stats();
+  EXPECT_GT(st.propagations, 0u);
+  EXPECT_GT(st.max_decision_level, 0u);
+  EXPECT_GT(st.peak_clause_bytes, 0u);
+  EXPECT_GT(st.learned_literals, st.learned_clauses);
+}
+
+TEST(Solver, TraceEmittedOnlyOnUnsat) {
+  // SAT run: trace has derivations maybe, but no final conflict.
+  Formula sat(2);
+  sat.add_clause({Lit::pos(0), Lit::pos(1)});
+  Solver s1;
+  trace::MemoryTraceWriter w1;
+  s1.set_trace_writer(&w1);
+  s1.add_formula(sat);
+  ASSERT_EQ(s1.solve(), SolveResult::Satisfiable);
+  EXPECT_FALSE(w1.trace().has_final);
+  EXPECT_TRUE(w1.trace().finished);
+
+  Solver s2;
+  trace::MemoryTraceWriter w2;
+  s2.set_trace_writer(&w2);
+  s2.add_formula(encode::pigeonhole(4));
+  ASSERT_EQ(s2.solve(), SolveResult::Unsatisfiable);
+  EXPECT_TRUE(w2.trace().has_final);
+}
+
+TEST(Solver, TraceDerivationIdsAreFreshAndOrdered) {
+  Solver s;
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  s.add_formula(encode::pigeonhole(5));
+  ASSERT_EQ(s.solve(), SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  ClauseId prev = t.num_original - 1;
+  for (const auto& d : t.derivations) {
+    EXPECT_GT(d.id, prev);
+    prev = d.id;
+    EXPECT_GE(d.sources.size(), 2u);
+    for (const ClauseId src : d.sources) EXPECT_LT(src, d.id);
+  }
+}
+
+TEST(Solver, TraceLevel0AssignmentsAreUniqueWithAntecedents) {
+  Solver s;
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  s.add_formula(encode::pigeonhole(5));
+  ASSERT_EQ(s.solve(), SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  std::vector<bool> seen(t.num_vars, false);
+  for (const auto& a : t.level0) {
+    ASSERT_LT(a.var, t.num_vars);
+    EXPECT_FALSE(seen[a.var]);
+    seen[a.var] = true;
+    EXPECT_NE(a.antecedent, kInvalidClauseId);
+  }
+}
+
+TEST(Solver, ExternalIdModeBasics) {
+  Solver s;
+  s.begin_external_ids(3);
+  const Lit c0[] = {Lit::pos(0), Lit::pos(1)};
+  const Lit c1[] = {Lit::neg(0)};
+  const Lit c2[] = {Lit::neg(1)};
+  s.add_clause_with_id(c0, 0);
+  s.add_clause_with_id(c1, 1);
+  // Skip ID 2 (a "derived then discarded" clause) and add one beyond.
+  s.add_clause_with_id(c2, 5);
+  s.reserve_clause_ids(10);
+
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  EXPECT_EQ(s.solve(), SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  // In external mode the caller owns the header: the solver must not have
+  // written begin() (num_vars stays 0 in the memory trace).
+  EXPECT_EQ(t.num_vars, 0u);
+  // Learned IDs start after the reservation.
+  for (const auto& d : t.derivations) EXPECT_GE(d.id, 10u);
+}
+
+TEST(Solver, ExternalIdModeRejectsMisuse) {
+  Solver s;
+  const Lit c[] = {Lit::pos(0)};
+  EXPECT_THROW(s.add_clause_with_id(c, 0), std::logic_error);
+  EXPECT_THROW(s.reserve_clause_ids(5), std::logic_error);
+  (void)s.add_clause(c);
+  EXPECT_THROW(s.begin_external_ids(1), std::logic_error);
+
+  Solver s2;
+  s2.begin_external_ids(2);
+  EXPECT_THROW((void)s2.add_clause(c), std::logic_error);
+  s2.add_clause_with_id(c, 1);
+  EXPECT_THROW(s2.add_clause_with_id(c, 0), std::logic_error);  // not increasing
+}
+
+TEST(ClauseDb, AllocFreeRecyclesSlots) {
+  ClauseDb db;
+  const Lit lits[] = {Lit::pos(0), Lit::neg(1)};
+  const ClauseSlot a = db.alloc(lits, 0, false);
+  const ClauseSlot b = db.alloc(lits, 1, true);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db.num_learned(), 1u);
+  EXPECT_GT(db.mem().current_bytes(), 0u);
+  db.free(b);
+  EXPECT_EQ(db.num_learned(), 0u);
+  const ClauseSlot c = db.alloc(lits, 2, true);
+  EXPECT_EQ(c, b);  // slot recycled
+  EXPECT_EQ(db[c].id, 2u);
+}
+
+TEST(ClauseDb, LiveSlotsSkipsFreed) {
+  ClauseDb db;
+  const Lit lits[] = {Lit::pos(0)};
+  const ClauseSlot a = db.alloc(lits, 0, false);
+  const ClauseSlot b = db.alloc(lits, 1, false);
+  db.free(a);
+  const auto live = db.live_slots();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], b);
+}
+
+TEST(VarOrder, PopsInActivityOrder) {
+  VarOrder o;
+  o.grow_to(4);
+  o.bump(2);
+  o.bump(2);
+  o.bump(1);
+  EXPECT_EQ(o.pop_max(), 2u);
+  EXPECT_EQ(o.pop_max(), 1u);
+  // Remaining two have zero activity; both must eventually come out.
+  const Var a = o.pop_max();
+  const Var b = o.pop_max();
+  EXPECT_TRUE((a == 0 && b == 3) || (a == 3 && b == 0));
+  EXPECT_TRUE(o.empty());
+}
+
+TEST(VarOrder, ReinsertAndContains) {
+  VarOrder o;
+  o.grow_to(3);
+  EXPECT_TRUE(o.contains(0));
+  const Var popped = o.pop_max();  // ties broken arbitrarily
+  EXPECT_FALSE(o.contains(popped));
+  o.insert(popped);
+  EXPECT_TRUE(o.contains(popped));
+  o.insert(popped);  // idempotent
+  int count = 0;
+  while (!o.empty()) {
+    o.pop_max();
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(VarOrder, DecayPreservesRelativeOrder) {
+  VarOrder o;
+  o.grow_to(2);
+  o.bump(0);
+  o.decay(0.5);
+  o.bump(1);  // later bumps weigh more after decay
+  EXPECT_EQ(o.pop_max(), 1u);
+}
+
+TEST(VarOrder, RescaleKeepsWorking) {
+  VarOrder o;
+  o.grow_to(2);
+  for (int i = 0; i < 100000; ++i) {
+    o.decay(0.5);  // inc explodes quickly, forcing rescales on bump
+    o.bump(i % 2 == 0 ? 0u : 1u);
+  }
+  EXPECT_TRUE(o.contains(0));
+  EXPECT_TRUE(o.contains(1));
+  const double a0 = o.activity(0), a1 = o.activity(1);
+  EXPECT_TRUE(std::isfinite(a0));
+  EXPECT_TRUE(std::isfinite(a1));
+}
+
+}  // namespace
+}  // namespace satproof::solver

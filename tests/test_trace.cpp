@@ -1,0 +1,325 @@
+// Tests for the trace formats: in-memory, ASCII, binary; round trips,
+// error handling, rewind, and cross-format agreement.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/ascii.hpp"
+#include "src/trace/binary.hpp"
+#include "src/trace/drup.hpp"
+#include "src/trace/events.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::trace {
+namespace {
+
+/// Drives a writer through a small canonical trace.
+void write_sample(TraceWriter& w) {
+  w.begin(6, 10);
+  const ClauseId d1[] = {3, 7, 2};
+  w.derivation(10, d1);
+  const ClauseId d2[] = {10, 0};
+  w.derivation(11, d2);
+  w.final_conflict(11);
+  w.level0(4, true, 10);
+  w.level0(2, false, 11);
+  w.end();
+}
+
+/// Reads all records from a reader.
+std::vector<Record> read_all(TraceReader& r) {
+  std::vector<Record> out;
+  Record rec;
+  while (r.next(rec)) {
+    out.push_back(rec);
+    if (rec.kind == RecordKind::End) break;
+  }
+  return out;
+}
+
+void expect_sample(TraceReader& r) {
+  EXPECT_EQ(r.num_vars(), 6u);
+  EXPECT_EQ(r.num_original(), 10u);
+  const auto recs = read_all(r);
+  ASSERT_EQ(recs.size(), 6u);
+
+  EXPECT_EQ(recs[0].kind, RecordKind::Derivation);
+  EXPECT_EQ(recs[0].id, 10u);
+  EXPECT_EQ(recs[0].sources, (std::vector<ClauseId>{3, 7, 2}));
+
+  EXPECT_EQ(recs[1].kind, RecordKind::Derivation);
+  EXPECT_EQ(recs[1].id, 11u);
+  EXPECT_EQ(recs[1].sources, (std::vector<ClauseId>{10, 0}));
+
+  EXPECT_EQ(recs[2].kind, RecordKind::FinalConflict);
+  EXPECT_EQ(recs[2].id, 11u);
+
+  EXPECT_EQ(recs[3].kind, RecordKind::Level0);
+  EXPECT_EQ(recs[3].var, 4u);
+  EXPECT_TRUE(recs[3].value);
+  EXPECT_EQ(recs[3].antecedent, 10u);
+
+  EXPECT_EQ(recs[4].kind, RecordKind::Level0);
+  EXPECT_EQ(recs[4].var, 2u);
+  EXPECT_FALSE(recs[4].value);
+  EXPECT_EQ(recs[4].antecedent, 11u);
+
+  EXPECT_EQ(recs[5].kind, RecordKind::End);
+}
+
+TEST(MemoryTrace, RoundTrip) {
+  MemoryTraceWriter w;
+  write_sample(w);
+  const MemoryTrace t = w.take();
+  EXPECT_TRUE(t.finished);
+  EXPECT_TRUE(t.has_final);
+  MemoryTraceReader r(t);
+  expect_sample(r);
+}
+
+TEST(MemoryTrace, RewindRestarts) {
+  MemoryTraceWriter w;
+  write_sample(w);
+  const MemoryTrace t = w.take();
+  MemoryTraceReader r(t);
+  (void)read_all(r);
+  r.rewind();
+  expect_sample(r);
+}
+
+TEST(MemoryTrace, SatRunHasNoFinal) {
+  MemoryTraceWriter w;
+  w.begin(3, 2);
+  w.end();
+  const MemoryTrace t = w.take();
+  EXPECT_FALSE(t.has_final);
+  MemoryTraceReader r(t);
+  const auto recs = read_all(r);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].kind, RecordKind::End);
+}
+
+TEST(AsciiTrace, RoundTrip) {
+  std::stringstream ss;
+  AsciiTraceWriter w(ss);
+  write_sample(w);
+  AsciiTraceReader r(ss);
+  expect_sample(r);
+}
+
+TEST(AsciiTrace, RewindRestarts) {
+  std::stringstream ss;
+  AsciiTraceWriter w(ss);
+  write_sample(w);
+  AsciiTraceReader r(ss);
+  (void)read_all(r);
+  r.rewind();
+  expect_sample(r);
+}
+
+TEST(AsciiTrace, IsHumanReadable) {
+  std::stringstream ss;
+  AsciiTraceWriter w(ss);
+  write_sample(w);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("p trace 6 10"), std::string::npos);
+  EXPECT_NE(text.find("f 11"), std::string::npos);
+  EXPECT_NE(text.find("e"), std::string::npos);
+}
+
+TEST(AsciiTrace, MissingHeaderThrows) {
+  std::stringstream ss("d 10 1 2 0\n");
+  EXPECT_THROW(AsciiTraceReader r(ss), std::runtime_error);
+}
+
+TEST(AsciiTrace, TruncatedTraceThrows) {
+  std::stringstream ss("p trace 3 4\nd 4 1 2 0\n");  // no 'e'
+  AsciiTraceReader r(ss);
+  Record rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(AsciiTrace, UnterminatedDerivationThrows) {
+  std::stringstream ss("p trace 3 4\nd 4 1 2\ne\n");
+  AsciiTraceReader r(ss);
+  Record rec;
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(AsciiTrace, UnknownTagThrows) {
+  std::stringstream ss("p trace 3 4\nq 1\ne\n");
+  AsciiTraceReader r(ss);
+  Record rec;
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(AsciiTrace, CommentsSkipped) {
+  std::stringstream ss("c hello\np trace 3 4\nc mid\ne\n");
+  AsciiTraceReader r(ss);
+  Record rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.kind, RecordKind::End);
+}
+
+TEST(BinaryTrace, RoundTrip) {
+  std::stringstream ss;
+  BinaryTraceWriter w(ss);
+  write_sample(w);
+  AsciiTraceReader* unused = nullptr;
+  (void)unused;
+  BinaryTraceReader r(ss);
+  expect_sample(r);
+}
+
+TEST(BinaryTrace, RewindRestarts) {
+  std::stringstream ss;
+  BinaryTraceWriter w(ss);
+  write_sample(w);
+  BinaryTraceReader r(ss);
+  (void)read_all(r);
+  r.rewind();
+  expect_sample(r);
+}
+
+TEST(BinaryTrace, BadMagicThrows) {
+  std::stringstream ss("not a trace at all");
+  EXPECT_THROW(BinaryTraceReader r(ss), std::runtime_error);
+}
+
+TEST(BinaryTrace, TruncationThrows) {
+  std::stringstream full;
+  BinaryTraceWriter w(full);
+  write_sample(w);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 3));
+  BinaryTraceReader r(cut);
+  Record rec;
+  bool threw = false;
+  try {
+    while (r.next(rec)) {
+      if (rec.kind == RecordKind::End) break;
+    }
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(BinaryTrace, SmallerThanAscii) {
+  std::stringstream ascii, binary;
+  AsciiTraceWriter wa(ascii);
+  BinaryTraceWriter wb(binary);
+  // A somewhat larger trace so the size ratio is meaningful.
+  wa.begin(100, 1000);
+  wb.begin(100, 1000);
+  std::vector<ClauseId> sources;
+  for (ClauseId id = 1000; id < 1200; ++id) {
+    sources.clear();
+    for (ClauseId s = id - 6; s < id; ++s) sources.push_back(s);
+    wa.derivation(id, sources);
+    wb.derivation(id, sources);
+  }
+  wa.final_conflict(1199);
+  wb.final_conflict(1199);
+  for (Var v = 0; v < 100; ++v) {
+    wa.level0(v, v % 2 == 0, 1000 + v);
+    wb.level0(v, v % 2 == 0, 1000 + v);
+  }
+  wa.end();
+  wb.end();
+  // The paper predicts 2-3x from a binary encoding; delta-coded varints do
+  // at least that.
+  EXPECT_LT(binary.str().size() * 2, ascii.str().size());
+}
+
+TEST(CrossFormat, AllFormatsAgree) {
+  MemoryTraceWriter wm;
+  std::stringstream sa, sb;
+  AsciiTraceWriter wa(sa);
+  BinaryTraceWriter wb(sb);
+  for (TraceWriter* w : std::initializer_list<TraceWriter*>{&wm, &wa, &wb}) {
+    write_sample(*w);
+  }
+  const MemoryTrace t = wm.take();
+  MemoryTraceReader rm(t);
+  AsciiTraceReader ra(sa);
+  BinaryTraceReader rb(sb);
+  const auto recs_m = read_all(rm);
+  const auto recs_a = read_all(ra);
+  const auto recs_b = read_all(rb);
+  ASSERT_EQ(recs_m.size(), recs_a.size());
+  ASSERT_EQ(recs_m.size(), recs_b.size());
+  for (std::size_t i = 0; i < recs_m.size(); ++i) {
+    for (const auto* other : {&recs_a[i], &recs_b[i]}) {
+      EXPECT_EQ(recs_m[i].kind, other->kind);
+      EXPECT_EQ(recs_m[i].id, other->id);
+      EXPECT_EQ(recs_m[i].sources, other->sources);
+      if (recs_m[i].kind == RecordKind::Level0) {
+        EXPECT_EQ(recs_m[i].var, other->var);
+        EXPECT_EQ(recs_m[i].value, other->value);
+        EXPECT_EQ(recs_m[i].antecedent, other->antecedent);
+      }
+    }
+  }
+}
+
+TEST(AssumptionRecords, RoundTripAllFormats) {
+  const auto write = [](TraceWriter& w) {
+    w.begin(4, 2);
+    const ClauseId src[] = {0, 1};
+    w.derivation(2, src);
+    w.final_conflict(2);
+    w.level0(1, false, 2);
+    w.assumption(0, true);
+    w.assumption(3, false);
+    w.end();
+  };
+  MemoryTraceWriter wm;
+  std::stringstream sa, sb;
+  AsciiTraceWriter wa(sa);
+  BinaryTraceWriter wb(sb);
+  for (TraceWriter* w : std::initializer_list<TraceWriter*>{&wm, &wa, &wb}) {
+    write(*w);
+  }
+  const MemoryTrace t = wm.take();
+  MemoryTraceReader rm(t);
+  AsciiTraceReader ra(sa);
+  BinaryTraceReader rb(sb);
+  for (TraceReader* r :
+       std::initializer_list<TraceReader*>{&rm, &ra, &rb}) {
+    const auto recs = read_all(*r);
+    ASSERT_EQ(recs.size(), 6u);
+    EXPECT_EQ(recs[2].kind, RecordKind::Level0);
+    EXPECT_EQ(recs[3].kind, RecordKind::Assumption);
+    EXPECT_EQ(recs[3].var, 0u);
+    EXPECT_TRUE(recs[3].value);
+    EXPECT_EQ(recs[4].kind, RecordKind::Assumption);
+    EXPECT_EQ(recs[4].var, 3u);
+    EXPECT_FALSE(recs[4].value);
+  }
+  // The ASCII form spells assumptions as 'u' lines.
+  EXPECT_NE(sa.str().find("u 1"), std::string::npos);
+  EXPECT_NE(sa.str().find("u -4"), std::string::npos);
+}
+
+TEST(DrupWriter, FormatsLinesCorrectly) {
+  std::ostringstream out;
+  DrupWriter w(out);
+  const Lit add[] = {Lit::pos(0), Lit::neg(2)};
+  w.add_clause(add);
+  const Lit del[] = {Lit::neg(0)};
+  w.delete_clause(del);
+  w.empty_clause();
+  EXPECT_EQ(out.str(), "1 -3 0\nd -1 0\n0\n");
+}
+
+TEST(NullWriter, AcceptsEverything) {
+  NullTraceWriter w;
+  write_sample(w);  // must not crash or allocate observably
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace satproof::trace

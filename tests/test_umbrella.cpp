@@ -1,0 +1,24 @@
+// Compile-level test: the umbrella header is self-contained and the whole
+// public surface coexists in one translation unit.
+
+#include "src/satproof.hpp"
+
+#include <gtest/gtest.h>
+
+namespace satproof {
+namespace {
+
+TEST(Umbrella, EndToEndThroughUmbrellaHeader) {
+  const Formula f = encode::pigeonhole(3);
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  EXPECT_TRUE(checker::check_depth_first(f, r).ok);
+}
+
+}  // namespace
+}  // namespace satproof

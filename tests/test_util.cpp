@@ -1,0 +1,210 @@
+// Unit tests for src/util: PRNG, varint codec, memory tracker, temp files,
+// table formatting.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/mem_tracker.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+#include "src/util/temp_file.hpp"
+#include "src/util/timer.hpp"
+#include "src/util/varint.hpp"
+
+namespace satproof::util {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.next_below(10)];
+  for (int c : seen) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo = hit_lo || v == -2;
+    hit_hi = hit_hi || v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v.begin(), v.end());
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::uint64_t values[] = {0,    1,    127,  128,   129,
+                                  1000, 1u << 14, (1u << 14) + 1,
+                                  0xffffffffULL, ~std::uint64_t{0}};
+  for (const auto v : values) {
+    std::stringstream ss;
+    write_varint(ss, v);
+    EXPECT_EQ(static_cast<std::size_t>(ss.str().size()), varint_size(v));
+    const auto back = read_varint(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(Varint, ReadAtEofReturnsNullopt) {
+  std::stringstream ss;
+  EXPECT_FALSE(read_varint(ss).has_value());
+}
+
+TEST(Varint, TruncatedEncodingThrows) {
+  std::stringstream ss;
+  ss.put(static_cast<char>(0x80));  // continuation bit, then EOF
+  EXPECT_THROW(read_varint(ss), std::runtime_error);
+}
+
+TEST(Varint, BufferDecodeMatchesStream) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 300);
+  append_varint(buf, 0);
+  append_varint(buf, ~std::uint64_t{0});
+  std::size_t pos = 0;
+  EXPECT_EQ(decode_varint(buf, pos), 300u);
+  EXPECT_EQ(decode_varint(buf, pos), 0u);
+  EXPECT_EQ(decode_varint(buf, pos), ~std::uint64_t{0});
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, BufferTruncationThrows) {
+  std::vector<std::uint8_t> buf{0x80};
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_varint(buf, pos), std::runtime_error);
+}
+
+TEST(MemTracker, TracksCurrentAndPeak) {
+  MemTracker m;
+  m.add(100);
+  m.add(50);
+  EXPECT_EQ(m.current_bytes(), 150u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.remove(120);
+  EXPECT_EQ(m.current_bytes(), 30u);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.add(10);
+  EXPECT_EQ(m.peak_bytes(), 150u);
+  m.reset();
+  EXPECT_EQ(m.current_bytes(), 0u);
+  EXPECT_EQ(m.peak_bytes(), 0u);
+}
+
+TEST(MemTracker, RemoveClampsAtZero) {
+  MemTracker m;
+  m.add(10);
+  m.remove(100);
+  EXPECT_EQ(m.current_bytes(), 0u);
+}
+
+TEST(ClauseFootprint, GrowsWithLength) {
+  EXPECT_LT(clause_footprint_bytes(1), clause_footprint_bytes(100));
+  EXPECT_GT(clause_footprint_bytes(0), 0u);
+}
+
+TEST(TempFile, CreatesAndRemovesFile) {
+  std::filesystem::path p;
+  {
+    TempFile tf("satproof-test");
+    p = tf.path();
+    EXPECT_TRUE(std::filesystem::exists(p));
+    std::ofstream(p) << "data";
+  }
+  EXPECT_FALSE(std::filesystem::exists(p));
+}
+
+TEST(TempFile, MoveTransfersOwnership) {
+  TempFile a("satproof-test");
+  const auto p = a.path();
+  TempFile b = std::move(a);
+  EXPECT_EQ(b.path(), p);
+  EXPECT_TRUE(a.path().empty());
+  EXPECT_TRUE(std::filesystem::exists(p));
+}
+
+TEST(TempFile, DistinctPaths) {
+  TempFile a("x"), b("x");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 23    |"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(format_double(1.2345, 2), "1.23");
+  EXPECT_EQ(format_kb(2048), "2.0");
+  EXPECT_EQ(format_percent(1, 4), "25.0%");
+  EXPECT_EQ(format_percent(1, 0), "n/a");
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.elapsed_seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace satproof::util

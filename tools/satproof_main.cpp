@@ -1,0 +1,13 @@
+// Entry point of the `satproof` command-line tool. All logic lives in
+// cli.cpp so the test suite can drive it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return satproof::cli::run_cli(args, std::cout, std::cerr);
+}
