@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checker.dir/ablation_checker.cpp.o"
+  "CMakeFiles/ablation_checker.dir/ablation_checker.cpp.o.d"
+  "ablation_checker"
+  "ablation_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drup.dir/ablation_drup.cpp.o"
+  "CMakeFiles/ablation_drup.dir/ablation_drup.cpp.o.d"
+  "ablation_drup"
+  "ablation_drup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

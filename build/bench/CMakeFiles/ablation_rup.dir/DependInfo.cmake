@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_rup.cpp" "bench/CMakeFiles/ablation_rup.dir/ablation_rup.cpp.o" "gcc" "bench/CMakeFiles/ablation_rup.dir/ablation_rup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simplify/CMakeFiles/satproof_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/satproof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/satproof_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/satproof_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/satproof_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/satproof_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/satproof_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/satproof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/proof/CMakeFiles/satproof_proof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

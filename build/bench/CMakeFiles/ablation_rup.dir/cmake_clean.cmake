@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rup.dir/ablation_rup.cpp.o"
+  "CMakeFiles/ablation_rup.dir/ablation_rup.cpp.o.d"
+  "ablation_rup"
+  "ablation_rup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_format.dir/ablation_trace_format.cpp.o"
+  "CMakeFiles/ablation_trace_format.dir/ablation_trace_format.cpp.o.d"
+  "ablation_trace_format"
+  "ablation_trace_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trim.dir/ablation_trim.cpp.o"
+  "CMakeFiles/ablation_trim.dir/ablation_trim.cpp.o.d"
+  "ablation_trim"
+  "ablation_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

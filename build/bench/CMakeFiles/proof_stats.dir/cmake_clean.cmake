@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_stats.dir/proof_stats.cpp.o"
+  "CMakeFiles/proof_stats.dir/proof_stats.cpp.o.d"
+  "proof_stats"
+  "proof_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

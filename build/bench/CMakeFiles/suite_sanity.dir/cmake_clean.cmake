@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_sanity.dir/suite_sanity.cpp.o"
+  "CMakeFiles/suite_sanity.dir/suite_sanity.cpp.o.d"
+  "suite_sanity"
+  "suite_sanity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_sanity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

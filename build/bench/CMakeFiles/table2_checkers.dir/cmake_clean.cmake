@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_checkers.dir/table2_checkers.cpp.o"
+  "CMakeFiles/table2_checkers.dir/table2_checkers.cpp.o.d"
+  "table2_checkers"
+  "table2_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

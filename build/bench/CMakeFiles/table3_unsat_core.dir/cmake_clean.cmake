@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_unsat_core.dir/table3_unsat_core.cpp.o"
+  "CMakeFiles/table3_unsat_core.dir/table3_unsat_core.cpp.o.d"
+  "table3_unsat_core"
+  "table3_unsat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_unsat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_demo.dir/bmc_demo.cpp.o"
+  "CMakeFiles/bmc_demo.dir/bmc_demo.cpp.o.d"
+  "bmc_demo"
+  "bmc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

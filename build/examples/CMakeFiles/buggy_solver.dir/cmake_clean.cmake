@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buggy_solver.dir/buggy_solver.cpp.o"
+  "CMakeFiles/buggy_solver.dir/buggy_solver.cpp.o.d"
+  "buggy_solver"
+  "buggy_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buggy_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_checking.dir/equivalence_checking.cpp.o"
+  "CMakeFiles/equivalence_checking.dir/equivalence_checking.cpp.o.d"
+  "equivalence_checking"
+  "equivalence_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

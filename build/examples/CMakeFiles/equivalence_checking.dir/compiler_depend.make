@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for equivalence_checking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_routing.dir/incremental_routing.cpp.o"
+  "CMakeFiles/incremental_routing.dir/incremental_routing.cpp.o.d"
+  "incremental_routing"
+  "incremental_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolation_demo.dir/interpolation_demo.cpp.o"
+  "CMakeFiles/interpolation_demo.dir/interpolation_demo.cpp.o.d"
+  "interpolation_demo"
+  "interpolation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

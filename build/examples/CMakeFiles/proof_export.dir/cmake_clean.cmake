@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_export.dir/proof_export.cpp.o"
+  "CMakeFiles/proof_export.dir/proof_export.cpp.o.d"
+  "proof_export"
+  "proof_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

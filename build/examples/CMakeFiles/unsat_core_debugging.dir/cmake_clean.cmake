@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsat_core_debugging.dir/unsat_core_debugging.cpp.o"
+  "CMakeFiles/unsat_core_debugging.dir/unsat_core_debugging.cpp.o.d"
+  "unsat_core_debugging"
+  "unsat_core_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsat_core_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

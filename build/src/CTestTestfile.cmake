@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("cnf")
+subdirs("trace")
+subdirs("solver")
+subdirs("simplify")
+subdirs("checker")
+subdirs("proof")
+subdirs("core")
+subdirs("circuit")
+subdirs("bmc")
+subdirs("encode")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmc/counter.cpp" "src/bmc/CMakeFiles/satproof_bmc.dir/counter.cpp.o" "gcc" "src/bmc/CMakeFiles/satproof_bmc.dir/counter.cpp.o.d"
+  "/root/repo/src/bmc/rotator.cpp" "src/bmc/CMakeFiles/satproof_bmc.dir/rotator.cpp.o" "gcc" "src/bmc/CMakeFiles/satproof_bmc.dir/rotator.cpp.o.d"
+  "/root/repo/src/bmc/sequential.cpp" "src/bmc/CMakeFiles/satproof_bmc.dir/sequential.cpp.o" "gcc" "src/bmc/CMakeFiles/satproof_bmc.dir/sequential.cpp.o.d"
+  "/root/repo/src/bmc/unroll.cpp" "src/bmc/CMakeFiles/satproof_bmc.dir/unroll.cpp.o" "gcc" "src/bmc/CMakeFiles/satproof_bmc.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/satproof_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_bmc.dir/counter.cpp.o"
+  "CMakeFiles/satproof_bmc.dir/counter.cpp.o.d"
+  "CMakeFiles/satproof_bmc.dir/rotator.cpp.o"
+  "CMakeFiles/satproof_bmc.dir/rotator.cpp.o.d"
+  "CMakeFiles/satproof_bmc.dir/sequential.cpp.o"
+  "CMakeFiles/satproof_bmc.dir/sequential.cpp.o.d"
+  "CMakeFiles/satproof_bmc.dir/unroll.cpp.o"
+  "CMakeFiles/satproof_bmc.dir/unroll.cpp.o.d"
+  "libsatproof_bmc.a"
+  "libsatproof_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

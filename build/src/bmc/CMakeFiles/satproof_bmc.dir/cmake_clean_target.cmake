@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatproof_bmc.a"
+)

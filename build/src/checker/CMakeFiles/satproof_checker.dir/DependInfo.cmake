@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/breadth_first.cpp" "src/checker/CMakeFiles/satproof_checker.dir/breadth_first.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/breadth_first.cpp.o.d"
+  "/root/repo/src/checker/common.cpp" "src/checker/CMakeFiles/satproof_checker.dir/common.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/common.cpp.o.d"
+  "/root/repo/src/checker/depth_first.cpp" "src/checker/CMakeFiles/satproof_checker.dir/depth_first.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/depth_first.cpp.o.d"
+  "/root/repo/src/checker/drup.cpp" "src/checker/CMakeFiles/satproof_checker.dir/drup.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/drup.cpp.o.d"
+  "/root/repo/src/checker/hybrid.cpp" "src/checker/CMakeFiles/satproof_checker.dir/hybrid.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/hybrid.cpp.o.d"
+  "/root/repo/src/checker/resolution.cpp" "src/checker/CMakeFiles/satproof_checker.dir/resolution.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/resolution.cpp.o.d"
+  "/root/repo/src/checker/use_count.cpp" "src/checker/CMakeFiles/satproof_checker.dir/use_count.cpp.o" "gcc" "src/checker/CMakeFiles/satproof_checker.dir/use_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/satproof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_checker.dir/breadth_first.cpp.o"
+  "CMakeFiles/satproof_checker.dir/breadth_first.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/common.cpp.o"
+  "CMakeFiles/satproof_checker.dir/common.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/depth_first.cpp.o"
+  "CMakeFiles/satproof_checker.dir/depth_first.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/drup.cpp.o"
+  "CMakeFiles/satproof_checker.dir/drup.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/hybrid.cpp.o"
+  "CMakeFiles/satproof_checker.dir/hybrid.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/resolution.cpp.o"
+  "CMakeFiles/satproof_checker.dir/resolution.cpp.o.d"
+  "CMakeFiles/satproof_checker.dir/use_count.cpp.o"
+  "CMakeFiles/satproof_checker.dir/use_count.cpp.o.d"
+  "libsatproof_checker.a"
+  "libsatproof_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/miter.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/miter.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/miter.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/rewrite.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/rewrite.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/rewrite.cpp.o.d"
+  "/root/repo/src/circuit/sorting.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/sorting.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/sorting.cpp.o.d"
+  "/root/repo/src/circuit/tseitin.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/tseitin.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/tseitin.cpp.o.d"
+  "/root/repo/src/circuit/words.cpp" "src/circuit/CMakeFiles/satproof_circuit.dir/words.cpp.o" "gcc" "src/circuit/CMakeFiles/satproof_circuit.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

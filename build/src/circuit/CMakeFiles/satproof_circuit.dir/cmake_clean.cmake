@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_circuit.dir/miter.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/miter.cpp.o.d"
+  "CMakeFiles/satproof_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/satproof_circuit.dir/rewrite.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/rewrite.cpp.o.d"
+  "CMakeFiles/satproof_circuit.dir/sorting.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/sorting.cpp.o.d"
+  "CMakeFiles/satproof_circuit.dir/tseitin.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/tseitin.cpp.o.d"
+  "CMakeFiles/satproof_circuit.dir/words.cpp.o"
+  "CMakeFiles/satproof_circuit.dir/words.cpp.o.d"
+  "libsatproof_circuit.a"
+  "libsatproof_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/dimacs.cpp" "src/cnf/CMakeFiles/satproof_cnf.dir/dimacs.cpp.o" "gcc" "src/cnf/CMakeFiles/satproof_cnf.dir/dimacs.cpp.o.d"
+  "/root/repo/src/cnf/formula.cpp" "src/cnf/CMakeFiles/satproof_cnf.dir/formula.cpp.o" "gcc" "src/cnf/CMakeFiles/satproof_cnf.dir/formula.cpp.o.d"
+  "/root/repo/src/cnf/model.cpp" "src/cnf/CMakeFiles/satproof_cnf.dir/model.cpp.o" "gcc" "src/cnf/CMakeFiles/satproof_cnf.dir/model.cpp.o.d"
+  "/root/repo/src/cnf/types.cpp" "src/cnf/CMakeFiles/satproof_cnf.dir/types.cpp.o" "gcc" "src/cnf/CMakeFiles/satproof_cnf.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_cnf.dir/dimacs.cpp.o"
+  "CMakeFiles/satproof_cnf.dir/dimacs.cpp.o.d"
+  "CMakeFiles/satproof_cnf.dir/formula.cpp.o"
+  "CMakeFiles/satproof_cnf.dir/formula.cpp.o.d"
+  "CMakeFiles/satproof_cnf.dir/model.cpp.o"
+  "CMakeFiles/satproof_cnf.dir/model.cpp.o.d"
+  "CMakeFiles/satproof_cnf.dir/types.cpp.o"
+  "CMakeFiles/satproof_cnf.dir/types.cpp.o.d"
+  "libsatproof_cnf.a"
+  "libsatproof_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

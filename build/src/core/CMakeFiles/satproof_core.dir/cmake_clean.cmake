@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_core.dir/unsat_core.cpp.o"
+  "CMakeFiles/satproof_core.dir/unsat_core.cpp.o.d"
+  "libsatproof_core.a"
+  "libsatproof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/cardinality.cpp" "src/encode/CMakeFiles/satproof_encode.dir/cardinality.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/cardinality.cpp.o.d"
+  "/root/repo/src/encode/coloring.cpp" "src/encode/CMakeFiles/satproof_encode.dir/coloring.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/coloring.cpp.o.d"
+  "/root/repo/src/encode/fpga_routing.cpp" "src/encode/CMakeFiles/satproof_encode.dir/fpga_routing.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/fpga_routing.cpp.o.d"
+  "/root/repo/src/encode/parity.cpp" "src/encode/CMakeFiles/satproof_encode.dir/parity.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/parity.cpp.o.d"
+  "/root/repo/src/encode/pigeonhole.cpp" "src/encode/CMakeFiles/satproof_encode.dir/pigeonhole.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/pigeonhole.cpp.o.d"
+  "/root/repo/src/encode/planning.cpp" "src/encode/CMakeFiles/satproof_encode.dir/planning.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/planning.cpp.o.d"
+  "/root/repo/src/encode/random_ksat.cpp" "src/encode/CMakeFiles/satproof_encode.dir/random_ksat.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/random_ksat.cpp.o.d"
+  "/root/repo/src/encode/suite.cpp" "src/encode/CMakeFiles/satproof_encode.dir/suite.cpp.o" "gcc" "src/encode/CMakeFiles/satproof_encode.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/satproof_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/satproof_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_encode.dir/cardinality.cpp.o"
+  "CMakeFiles/satproof_encode.dir/cardinality.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/coloring.cpp.o"
+  "CMakeFiles/satproof_encode.dir/coloring.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/fpga_routing.cpp.o"
+  "CMakeFiles/satproof_encode.dir/fpga_routing.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/parity.cpp.o"
+  "CMakeFiles/satproof_encode.dir/parity.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/pigeonhole.cpp.o"
+  "CMakeFiles/satproof_encode.dir/pigeonhole.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/planning.cpp.o"
+  "CMakeFiles/satproof_encode.dir/planning.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/random_ksat.cpp.o"
+  "CMakeFiles/satproof_encode.dir/random_ksat.cpp.o.d"
+  "CMakeFiles/satproof_encode.dir/suite.cpp.o"
+  "CMakeFiles/satproof_encode.dir/suite.cpp.o.d"
+  "libsatproof_encode.a"
+  "libsatproof_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

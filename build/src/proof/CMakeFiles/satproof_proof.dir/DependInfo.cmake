@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proof/export.cpp" "src/proof/CMakeFiles/satproof_proof.dir/export.cpp.o" "gcc" "src/proof/CMakeFiles/satproof_proof.dir/export.cpp.o.d"
+  "/root/repo/src/proof/interpolant.cpp" "src/proof/CMakeFiles/satproof_proof.dir/interpolant.cpp.o" "gcc" "src/proof/CMakeFiles/satproof_proof.dir/interpolant.cpp.o.d"
+  "/root/repo/src/proof/proof_dag.cpp" "src/proof/CMakeFiles/satproof_proof.dir/proof_dag.cpp.o" "gcc" "src/proof/CMakeFiles/satproof_proof.dir/proof_dag.cpp.o.d"
+  "/root/repo/src/proof/rup.cpp" "src/proof/CMakeFiles/satproof_proof.dir/rup.cpp.o" "gcc" "src/proof/CMakeFiles/satproof_proof.dir/rup.cpp.o.d"
+  "/root/repo/src/proof/trim.cpp" "src/proof/CMakeFiles/satproof_proof.dir/trim.cpp.o" "gcc" "src/proof/CMakeFiles/satproof_proof.dir/trim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/satproof_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/satproof_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/satproof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

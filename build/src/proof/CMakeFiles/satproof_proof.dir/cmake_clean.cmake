@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_proof.dir/export.cpp.o"
+  "CMakeFiles/satproof_proof.dir/export.cpp.o.d"
+  "CMakeFiles/satproof_proof.dir/interpolant.cpp.o"
+  "CMakeFiles/satproof_proof.dir/interpolant.cpp.o.d"
+  "CMakeFiles/satproof_proof.dir/proof_dag.cpp.o"
+  "CMakeFiles/satproof_proof.dir/proof_dag.cpp.o.d"
+  "CMakeFiles/satproof_proof.dir/rup.cpp.o"
+  "CMakeFiles/satproof_proof.dir/rup.cpp.o.d"
+  "CMakeFiles/satproof_proof.dir/trim.cpp.o"
+  "CMakeFiles/satproof_proof.dir/trim.cpp.o.d"
+  "libsatproof_proof.a"
+  "libsatproof_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simplify/pipeline.cpp" "src/simplify/CMakeFiles/satproof_simplify.dir/pipeline.cpp.o" "gcc" "src/simplify/CMakeFiles/satproof_simplify.dir/pipeline.cpp.o.d"
+  "/root/repo/src/simplify/preprocessor.cpp" "src/simplify/CMakeFiles/satproof_simplify.dir/preprocessor.cpp.o" "gcc" "src/simplify/CMakeFiles/satproof_simplify.dir/preprocessor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/satproof_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/satproof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

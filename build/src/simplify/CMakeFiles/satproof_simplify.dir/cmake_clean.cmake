@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_simplify.dir/pipeline.cpp.o"
+  "CMakeFiles/satproof_simplify.dir/pipeline.cpp.o.d"
+  "CMakeFiles/satproof_simplify.dir/preprocessor.cpp.o"
+  "CMakeFiles/satproof_simplify.dir/preprocessor.cpp.o.d"
+  "libsatproof_simplify.a"
+  "libsatproof_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/clause_db.cpp" "src/solver/CMakeFiles/satproof_solver.dir/clause_db.cpp.o" "gcc" "src/solver/CMakeFiles/satproof_solver.dir/clause_db.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "src/solver/CMakeFiles/satproof_solver.dir/solver.cpp.o" "gcc" "src/solver/CMakeFiles/satproof_solver.dir/solver.cpp.o.d"
+  "/root/repo/src/solver/var_order.cpp" "src/solver/CMakeFiles/satproof_solver.dir/var_order.cpp.o" "gcc" "src/solver/CMakeFiles/satproof_solver.dir/var_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/satproof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

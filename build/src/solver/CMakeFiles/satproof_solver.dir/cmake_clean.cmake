@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_solver.dir/clause_db.cpp.o"
+  "CMakeFiles/satproof_solver.dir/clause_db.cpp.o.d"
+  "CMakeFiles/satproof_solver.dir/solver.cpp.o"
+  "CMakeFiles/satproof_solver.dir/solver.cpp.o.d"
+  "CMakeFiles/satproof_solver.dir/var_order.cpp.o"
+  "CMakeFiles/satproof_solver.dir/var_order.cpp.o.d"
+  "libsatproof_solver.a"
+  "libsatproof_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ascii.cpp" "src/trace/CMakeFiles/satproof_trace.dir/ascii.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/ascii.cpp.o.d"
+  "/root/repo/src/trace/binary.cpp" "src/trace/CMakeFiles/satproof_trace.dir/binary.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/binary.cpp.o.d"
+  "/root/repo/src/trace/drup.cpp" "src/trace/CMakeFiles/satproof_trace.dir/drup.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/drup.cpp.o.d"
+  "/root/repo/src/trace/events.cpp" "src/trace/CMakeFiles/satproof_trace.dir/events.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/events.cpp.o.d"
+  "/root/repo/src/trace/fault_injector.cpp" "src/trace/CMakeFiles/satproof_trace.dir/fault_injector.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/trace/memory.cpp" "src/trace/CMakeFiles/satproof_trace.dir/memory.cpp.o" "gcc" "src/trace/CMakeFiles/satproof_trace.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnf/CMakeFiles/satproof_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satproof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_trace.dir/ascii.cpp.o"
+  "CMakeFiles/satproof_trace.dir/ascii.cpp.o.d"
+  "CMakeFiles/satproof_trace.dir/binary.cpp.o"
+  "CMakeFiles/satproof_trace.dir/binary.cpp.o.d"
+  "CMakeFiles/satproof_trace.dir/drup.cpp.o"
+  "CMakeFiles/satproof_trace.dir/drup.cpp.o.d"
+  "CMakeFiles/satproof_trace.dir/events.cpp.o"
+  "CMakeFiles/satproof_trace.dir/events.cpp.o.d"
+  "CMakeFiles/satproof_trace.dir/fault_injector.cpp.o"
+  "CMakeFiles/satproof_trace.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/satproof_trace.dir/memory.cpp.o"
+  "CMakeFiles/satproof_trace.dir/memory.cpp.o.d"
+  "libsatproof_trace.a"
+  "libsatproof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_util.dir/mem_tracker.cpp.o"
+  "CMakeFiles/satproof_util.dir/mem_tracker.cpp.o.d"
+  "CMakeFiles/satproof_util.dir/rng.cpp.o"
+  "CMakeFiles/satproof_util.dir/rng.cpp.o.d"
+  "CMakeFiles/satproof_util.dir/table.cpp.o"
+  "CMakeFiles/satproof_util.dir/table.cpp.o.d"
+  "CMakeFiles/satproof_util.dir/temp_file.cpp.o"
+  "CMakeFiles/satproof_util.dir/temp_file.cpp.o.d"
+  "CMakeFiles/satproof_util.dir/varint.cpp.o"
+  "CMakeFiles/satproof_util.dir/varint.cpp.o.d"
+  "libsatproof_util.a"
+  "libsatproof_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cnf.dir/test_cnf.cpp.o"
+  "CMakeFiles/test_cnf.dir/test_cnf.cpp.o.d"
+  "test_cnf"
+  "test_cnf.pdb"
+  "test_cnf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

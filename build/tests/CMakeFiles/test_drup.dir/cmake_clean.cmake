@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drup.dir/test_drup.cpp.o"
+  "CMakeFiles/test_drup.dir/test_drup.cpp.o.d"
+  "test_drup"
+  "test_drup.pdb"
+  "test_drup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

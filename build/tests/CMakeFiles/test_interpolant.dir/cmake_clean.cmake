@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpolant.dir/test_interpolant.cpp.o"
+  "CMakeFiles/test_interpolant.dir/test_interpolant.cpp.o.d"
+  "test_interpolant"
+  "test_interpolant.pdb"
+  "test_interpolant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpolant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proof.dir/test_proof.cpp.o"
+  "CMakeFiles/test_proof.dir/test_proof.cpp.o.d"
+  "test_proof"
+  "test_proof.pdb"
+  "test_proof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

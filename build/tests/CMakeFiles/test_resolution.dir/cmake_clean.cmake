@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolution.dir/test_resolution.cpp.o"
+  "CMakeFiles/test_resolution.dir/test_resolution.cpp.o.d"
+  "test_resolution"
+  "test_resolution.pdb"
+  "test_resolution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewrite_sorting.dir/test_rewrite_sorting.cpp.o"
+  "CMakeFiles/test_rewrite_sorting.dir/test_rewrite_sorting.cpp.o.d"
+  "test_rewrite_sorting"
+  "test_rewrite_sorting.pdb"
+  "test_rewrite_sorting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewrite_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rup.dir/test_rup.cpp.o"
+  "CMakeFiles/test_rup.dir/test_rup.cpp.o.d"
+  "test_rup"
+  "test_rup.pdb"
+  "test_rup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

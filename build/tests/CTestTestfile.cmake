@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_cnf[1]_include.cmake")
+include("/root/repo/build/tests/test_resolution[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc[1]_include.cmake")
+include("/root/repo/build/tests/test_encode[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_proof[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_checker_components[1]_include.cmake")
+include("/root/repo/build/tests/test_assumptions[1]_include.cmake")
+include("/root/repo/build/tests/test_rup[1]_include.cmake")
+include("/root/repo/build/tests/test_simplify[1]_include.cmake")
+include("/root/repo/build/tests/test_interpolant[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite_sorting[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_cardinality[1]_include.cmake")
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")
+include("/root/repo/build/tests/test_drup[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof.dir/satproof_main.cpp.o"
+  "CMakeFiles/satproof.dir/satproof_main.cpp.o.d"
+  "satproof"
+  "satproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

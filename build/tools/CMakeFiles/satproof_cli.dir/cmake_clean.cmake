@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satproof_cli.dir/cli.cpp.o"
+  "CMakeFiles/satproof_cli.dir/cli.cpp.o.d"
+  "libsatproof_cli.a"
+  "libsatproof_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satproof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
