@@ -1,0 +1,358 @@
+#include "src/checker/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace satproof::checker {
+
+namespace {
+
+/// Estimated resident size of one loaded derivation record (kept identical
+/// to the depth-first checker so the two report comparable peak memory).
+std::size_t derivation_record_bytes(std::size_t num_sources) {
+  return num_sources * sizeof(ClauseId) + 48;
+}
+
+class ParallelChecker {
+ public:
+  ParallelChecker(const Formula& f, trace::TraceReader& reader, unsigned jobs)
+      : formula_(&f), reader_(&reader), level0_(reader.num_vars()) {
+    jobs_ = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+
+  CheckResult run(const ParallelOptions& options) {
+    CheckResult result;
+    try {
+      check_header(*formula_, reader_->num_vars(), reader_->num_original());
+      load_trace();
+      if (!final_id_.has_value()) {
+        throw CheckFailure(
+            "trace has no final conflicting clause; it does not claim "
+            "unsatisfiability");
+      }
+      // Slot table over the dense ID space [0, max derived ID]. C++20
+      // value-initializes the atomics to nullptr.
+      slots_ = std::vector<std::atomic<const SortedClause*>>(
+          std::max<ClauseId>(num_original(), max_derived_id_ + 1));
+      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+        return ensure_built(id);
+      };
+      SortedClause remaining =
+          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      if (!remaining.empty()) {
+        validate_assumption_clause(remaining, level0_);
+        result.failed_assumption_clause = std::move(remaining);
+      }
+      result.ok = true;
+    } catch (const CheckFailure& e) {
+      result.ok = false;
+      result.error = e.what();
+    } catch (const std::runtime_error& e) {
+      result.ok = false;
+      result.error = std::string("trace error: ") + e.what();
+    }
+    stats_.peak_mem_bytes = mem_.peak_bytes();
+    stats_.core_original_clauses = originals_built_;
+    result.stats = stats_;
+    if (result.ok && options.collect_core) {
+      // Published original IDs, ascending — the same set the depth-first
+      // checker memoizes, so the core is byte-identical to its sorted list.
+      result.core.reserve(originals_built_);
+      for (ClauseId id = 0; id < num_original(); ++id) {
+        if (published(id) != nullptr) result.core.push_back(id);
+      }
+    }
+    return result;
+  }
+
+ private:
+  [[nodiscard]] ClauseId num_original() const {
+    return reader_->num_original();
+  }
+
+  void load_trace() {
+    reader_->rewind();
+    trace::Record rec;
+    bool ended = false;
+    while (!ended && reader_->next(rec)) {
+      switch (rec.kind) {
+        case trace::RecordKind::Derivation: {
+          if (rec.id < num_original()) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " reuses an original clause ID");
+          }
+          if (rec.sources.size() < 2) {
+            throw CheckFailure("derivation " + std::to_string(rec.id) +
+                               " has fewer than two resolve sources");
+          }
+          for (const ClauseId s : rec.sources) {
+            if (s >= rec.id) {
+              throw CheckFailure(
+                  "derivation " + std::to_string(rec.id) +
+                  " references source " + std::to_string(s) +
+                  " that does not precede it; derivations must be acyclic");
+            }
+          }
+          const auto [it, inserted] =
+              derivations_.emplace(rec.id, std::move(rec.sources));
+          if (!inserted) {
+            throw CheckFailure("clause " + std::to_string(rec.id) +
+                               " is derived twice");
+          }
+          max_derived_id_ = std::max(max_derived_id_, rec.id);
+          mem_.add(derivation_record_bytes(it->second.size()));
+          ++stats_.total_derivations;
+          break;
+        }
+        case trace::RecordKind::FinalConflict:
+          if (final_id_.has_value()) {
+            throw CheckFailure("trace has more than one final conflict record");
+          }
+          final_id_ = rec.id;
+          break;
+        case trace::RecordKind::Level0:
+          level0_.add(rec.var, rec.value, rec.antecedent);
+          mem_.add(16);
+          break;
+        case trace::RecordKind::Assumption:
+          level0_.add_assumption(rec.var, rec.value);
+          mem_.add(16);
+          break;
+        case trace::RecordKind::End:
+          ended = true;
+          break;
+      }
+    }
+    if (!ended) {
+      throw CheckFailure("trace truncated: missing end record");
+    }
+  }
+
+  [[nodiscard]] const SortedClause* published(ClauseId id) const {
+    if (id >= slots_.size()) return nullptr;
+    return slots_[id].load(std::memory_order_acquire);
+  }
+
+  const std::vector<ClauseId>& sources_of(ClauseId id) const {
+    const auto it = derivations_.find(id);
+    if (it == derivations_.end()) {
+      throw CheckFailure("clause " + std::to_string(id) +
+                         " is referenced but never derived in the trace");
+    }
+    return it->second;
+  }
+
+  /// Fetcher for derive_final_clause: returns the published clause,
+  /// building its reachable subgraph in parallel wavefronts on a miss.
+  /// Builds exactly the clause closures the depth-first checker builds, so
+  /// every derived artifact (core, stats) matches it byte for byte.
+  const SortedClause& ensure_built(ClauseId id) {
+    if (const SortedClause* c = published(id)) return *c;
+    build_closure(id);
+    return *published(id);  // build_closure published it or threw
+  }
+
+  /// Builds every not-yet-published clause reachable from `root` through
+  /// derivation sources: topologically levels the subgraph into wavefronts
+  /// (level = 1 + max source level; already-published clauses are level
+  /// "done") and replays each wavefront across the worker pool.
+  void build_closure(ClauseId root) {
+    std::vector<ClauseId> todo{root};
+    std::vector<ClauseId> collected;
+    std::unordered_set<ClauseId> seen{root};
+    while (!todo.empty()) {
+      const ClauseId id = todo.back();
+      todo.pop_back();
+      if (published(id) != nullptr) continue;
+      collected.push_back(id);
+      if (id < num_original()) continue;
+      for (const ClauseId s : sources_of(id)) {
+        if (published(s) == nullptr && seen.insert(s).second) {
+          todo.push_back(s);
+        }
+      }
+    }
+    // Sources strictly precede their derivation (validated at load), so
+    // ascending ID order is a topological order and each clause's sources
+    // are leveled before it.
+    std::sort(collected.begin(), collected.end());
+    std::unordered_map<ClauseId, std::uint32_t> level;
+    level.reserve(collected.size());
+    std::vector<std::vector<ClauseId>> waves;
+    for (const ClauseId id : collected) {
+      std::uint32_t lv = 0;
+      if (id >= num_original()) {
+        for (const ClauseId s : sources_of(id)) {
+          const auto it = level.find(s);
+          if (it != level.end()) lv = std::max(lv, it->second + 1);
+          // Not in the map: the source is already published and imposes no
+          // ordering constraint within this closure.
+        }
+      }
+      level.emplace(id, lv);
+      if (lv >= waves.size()) waves.resize(lv + 1);
+      waves[lv].push_back(id);
+    }
+    for (const std::vector<ClauseId>& wave : waves) run_wave(wave);
+  }
+
+  /// One worker's slice of a wavefront, plus everything it produced. The
+  /// arena keeps clause addresses stable (deque) so they can be published
+  /// before the barrier; stats and bytes are merged into the shared
+  /// trackers only on the main thread afterwards.
+  struct Chunk {
+    std::span<const ClauseId> ids;
+    std::deque<SortedClause> arena;
+    std::uint64_t resolutions = 0;
+    std::uint64_t derived_built = 0;
+    std::uint64_t originals_built = 0;
+    std::size_t bytes = 0;
+    std::optional<std::string> error;
+  };
+
+  void run_wave(const std::vector<ClauseId>& wave) {
+    if (wave.empty()) return;
+    const std::size_t num_chunks =
+        std::min<std::size_t>(jobs_, wave.size());
+    std::vector<Chunk> chunks(num_chunks);
+    const std::size_t base = wave.size() / num_chunks;
+    const std::size_t extra = wave.size() % num_chunks;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      const std::size_t len = base + (i < extra ? 1 : 0);
+      chunks[i].ids = std::span<const ClauseId>(wave).subspan(begin, len);
+      begin += len;
+    }
+    if (num_chunks == 1) {
+      run_chunk(chunks[0]);
+    } else {
+      util::ThreadPool& pool = this->pool();
+      for (Chunk& c : chunks) {
+        pool.submit([this, &c] { run_chunk(c); });
+      }
+      pool.wait_idle();
+    }
+    // Merge on the main thread. Chunks cover ascending ID ranges and each
+    // stops at its first failure, so taking the first chunk's error yields
+    // the lowest failing clause ID — the diagnostic is deterministic
+    // regardless of which worker finished first.
+    std::optional<std::string> error;
+    for (Chunk& c : chunks) {
+      if (!error && c.error) error = std::move(c.error);
+      stats_.resolutions += c.resolutions;
+      stats_.clauses_built += c.derived_built;
+      originals_built_ += c.originals_built;
+      mem_.add(c.bytes);
+      if (!c.arena.empty()) arenas_.push_back(std::move(c.arena));
+    }
+    if (error) throw CheckFailure(*error);
+  }
+
+  /// Task body: replays the chunk's clauses in ascending ID order. Must not
+  /// throw — failures are recorded in the chunk for the post-barrier merge.
+  void run_chunk(Chunk& chunk) {
+    ChainResolver chain;
+    for (const ClauseId id : chunk.ids) {
+      try {
+        if (id < num_original()) {
+          build_original(id, chunk);
+        } else {
+          build_derived(id, chunk, chain);
+        }
+      } catch (const CheckFailure& e) {
+        chunk.error = e.what();
+        break;
+      }
+    }
+  }
+
+  void build_original(ClauseId id, Chunk& chunk) {
+    SortedClause canon = canonicalize(formula_->clause(id));
+    if (is_tautology(canon)) {
+      throw CheckFailure("original clause " + std::to_string(id) +
+                         " is tautological and cannot be a resolution source");
+    }
+    chunk.bytes += util::clause_footprint_bytes(canon.size());
+    ++chunk.originals_built;
+    chunk.arena.push_back(std::move(canon));
+    slots_[id].store(&chunk.arena.back(), std::memory_order_release);
+  }
+
+  void build_derived(ClauseId id, Chunk& chunk, ChainResolver& chain) {
+    const std::vector<ClauseId>& sources = derivations_.find(id)->second;
+    chain.start(*source_clause(sources[0]));
+    for (std::size_t i = 1; i < sources.size(); ++i) {
+      const ResolveResult r = chain.step(*source_clause(sources[i]));
+      ++chunk.resolutions;
+      if (r.status != ResolveStatus::Ok) {
+        throw CheckFailure(
+            "derivation of clause " + std::to_string(id) + ": resolving with "
+            "source " + std::to_string(sources[i]) + " (step " +
+            std::to_string(i) + ") failed: " +
+            (r.status == ResolveStatus::NoClash
+                 ? "no clashing variable"
+                 : "more than one clashing variable"));
+      }
+    }
+    SortedClause derived = chain.take();
+    std::sort(derived.begin(), derived.end());
+    chunk.bytes += util::clause_footprint_bytes(derived.size());
+    ++chunk.derived_built;
+    chunk.arena.push_back(std::move(derived));
+    slots_[id].store(&chunk.arena.back(), std::memory_order_release);
+  }
+
+  /// A source clause during wavefront replay. Always published: the
+  /// wavefront leveling puts every source in a strictly earlier wave (or an
+  /// earlier closure), and the barrier between waves orders the stores.
+  [[nodiscard]] const SortedClause* source_clause(ClauseId id) const {
+    const SortedClause* c = published(id);
+    if (c == nullptr) {
+      throw CheckFailure("internal error: source clause " +
+                         std::to_string(id) +
+                         " was scheduled after its consumer");
+    }
+    return c;
+  }
+
+  util::ThreadPool& pool() {
+    if (!pool_.has_value()) pool_.emplace(jobs_);
+    return *pool_;
+  }
+
+  const Formula* formula_;
+  trace::TraceReader* reader_;
+  unsigned jobs_ = 1;
+  Level0Table level0_;
+  std::optional<ClauseId> final_id_;
+  ClauseId max_derived_id_ = 0;
+  std::unordered_map<ClauseId, std::vector<ClauseId>> derivations_;
+  std::vector<std::atomic<const SortedClause*>> slots_;
+  /// Worker arenas, adopted at each wavefront barrier. Deques preserve
+  /// element addresses under move, so published pointers stay valid.
+  std::vector<std::deque<SortedClause>> arenas_;
+  std::optional<util::ThreadPool> pool_;
+  std::uint64_t originals_built_ = 0;
+  util::MemTracker mem_;
+  CheckStats stats_;
+};
+
+}  // namespace
+
+CheckResult check_parallel(const Formula& f, trace::TraceReader& reader,
+                           const ParallelOptions& options) {
+  ParallelChecker checker(f, reader, options.jobs);
+  return checker.run(options);
+}
+
+}  // namespace satproof::checker

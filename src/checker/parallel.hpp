@@ -1,0 +1,45 @@
+#pragma once
+
+#include "src/checker/common.hpp"
+
+namespace satproof::checker {
+
+/// Options for the parallel checker.
+struct ParallelOptions {
+  /// Worker threads. 0 means std::thread::hardware_concurrency (≥ 1).
+  unsigned jobs = 0;
+
+  /// Collect the unsatisfiable core, exactly as the depth-first checker
+  /// does. The parallel checker builds the same clause set as depth-first
+  /// regardless of schedule, so the core is byte-identical.
+  bool collect_core = true;
+};
+
+/// Parallel depth-first proof checking.
+///
+/// The proof DAG exposes natural parallelism: two learned clauses whose
+/// antecedent clauses are already verified can be rebuilt concurrently.
+/// This checker loads the trace like the depth-first checker, restricts
+/// attention to the derivations reachable from the final conflicting clause
+/// (and, later, from each level-0 antecedent the final derivation actually
+/// touches — the same set depth-first builds), topologically levels that
+/// subgraph into *wavefronts* (level = 1 + max level of the sources), and
+/// replays each wavefront's resolution chains across a fixed worker pool.
+///
+/// Verified clauses are published into a lock-free slot table indexed by
+/// clause ID via release stores; workers resolve against antecedents with
+/// acquire loads and no locks — sources always live in a strictly earlier
+/// wavefront, so a load never observes an unpublished clause. Clause
+/// storage comes from per-worker arenas whose footprint feeds the shared
+/// memory tracker at each wavefront barrier, keeping --stats deterministic.
+///
+/// Everything observable is schedule-independent: the set of clauses built,
+/// the unsat core (byte-identical to check_depth_first), the resolution and
+/// built counts, the peak-memory figure, and — because the first failure is
+/// selected by lowest clause ID, not by which worker lost the race — the
+/// diagnostic on rejection.
+[[nodiscard]] CheckResult check_parallel(const Formula& f,
+                                         trace::TraceReader& reader,
+                                         const ParallelOptions& options = {});
+
+}  // namespace satproof::checker

@@ -54,7 +54,9 @@ bool MemoryTraceReader::next(Record& out) {
     out.sources.clear();
     return true;
   }
-  if (!end_emitted_) {
+  // A trace whose writer never saw end() is truncated; claiming an End
+  // record here would hide that from the checkers' truncation detection.
+  if (trace_->finished && !end_emitted_) {
     end_emitted_ = true;
     out.kind = RecordKind::End;
     out.sources.clear();

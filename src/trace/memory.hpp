@@ -54,7 +54,9 @@ class MemoryTraceWriter final : public TraceWriter {
 
 /// TraceReader over a MemoryTrace. The referenced trace must outlive the
 /// reader. Records are replayed in canonical order: derivations, then the
-/// final conflict, then level-0 assignments, then End.
+/// final conflict, then level-0 assignments, then End. The End record is
+/// only delivered when the writer actually finished (end() was called);
+/// an unfinished trace reads as truncated, which the checkers reject.
 class MemoryTraceReader final : public TraceReader {
  public:
   explicit MemoryTraceReader(const MemoryTrace& trace) : trace_(&trace) {}

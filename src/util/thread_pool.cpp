@@ -1,0 +1,64 @@
+#include "src/util/thread_pool.hpp"
+
+namespace satproof::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) w.request_stop();
+  work_cv_.notify_all();
+  // jthread joins in its destructor; discarded queue entries are accounted
+  // for so a concurrent wait_idle() cannot hang.
+  {
+    const std::lock_guard lock(mutex_);
+    unfinished_ -= queue_.size();
+    queue_.clear();
+  }
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    bool idle = false;
+    {
+      const std::lock_guard lock(mutex_);
+      idle = --unfinished_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace satproof::util

@@ -264,6 +264,36 @@ TEST_F(CliTest, CheckCommandVariants) {
             kExitError);
 }
 
+TEST_F(CliTest, CheckerOptionSelectsBackend) {
+  gen_php(5);
+  const CliRun s = run({"solve", cnf(), "--trace", aux()});
+  ASSERT_EQ(s.exit_code, kExitUnsat);
+  for (const char* mode : {"df", "bf", "hybrid", "parallel"}) {
+    const CliRun c = run({"check", "--checker", mode, cnf(), aux()});
+    EXPECT_EQ(c.exit_code, 0) << mode << ": " << c.err;
+    EXPECT_NE(c.out.find("VERIFIED"), std::string::npos) << mode;
+  }
+  // --opt=value spelling, as in the issue's `--checker=parallel --jobs=4`.
+  const CliRun eq = run({"check", "--checker=parallel", "--jobs=4", cnf(),
+                         aux()});
+  EXPECT_EQ(eq.exit_code, 0) << eq.err;
+  EXPECT_EQ(run({"check", "--checker", "warp", cnf(), aux()}).exit_code,
+            kExitError);
+  EXPECT_EQ(
+      run({"check", "--checker", "df", "--bf", cnf(), aux()}).exit_code,
+      kExitError);
+  EXPECT_EQ(run({"check", "--checker=parallel", "--jobs=0", cnf(), aux()})
+                .exit_code,
+            kExitError);
+}
+
+TEST_F(CliTest, SolveWithParallelCheck) {
+  gen_php(5);
+  const CliRun r = run({"solve", cnf(), "--check", "parallel", "--jobs", "2"});
+  EXPECT_EQ(r.exit_code, kExitUnsat);
+  EXPECT_NE(r.out.find("parallel check ok"), std::string::npos);
+}
+
 TEST_F(CliTest, TrimCommandRoundTrip) {
   gen_php(6);
   const CliRun s = run({"solve", cnf(), "--trace", aux()});

@@ -1,0 +1,108 @@
+// Differential fuzzing across every checker backend: the same solver run
+// is validated by depth-first, breadth-first, hybrid, parallel and DRUP
+// checking, and all five must agree — same verdict on every instance, and
+// (where a backend extracts one) the same unsat core. Instances are random
+// 3-SAT at clause/variable ratios straddling the phase transition (~4.27),
+// where both SAT and UNSAT outcomes occur and proofs are nontrivial.
+//
+// 500 seeded instances split into 10 shards so ctest can run them in
+// parallel and a failure names its shard/seed.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/checker/drup.hpp"
+#include "src/checker/hybrid.hpp"
+#include "src/checker/parallel.hpp"
+#include "src/cnf/model.hpp"
+#include "src/encode/random_ksat.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/drup.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof {
+namespace {
+
+constexpr int kInstancesPerShard = 50;  // x 10 shards = 500 instances
+
+class DifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialFuzz, AllBackendsAgreeOnVerdictAndCore) {
+  const int shard = GetParam();
+  int unsat_seen = 0;
+  for (int i = 0; i < kInstancesPerShard; ++i) {
+    const std::uint64_t seed =
+        1000 + static_cast<std::uint64_t>(shard) * kInstancesPerShard + i;
+    // n in [12, 25], ratio in [3.8, 5.0] around the 3-SAT phase transition.
+    const unsigned n = 12 + static_cast<unsigned>(seed % 14);
+    const double ratio = 3.8 + 0.15 * static_cast<double>(i % 9);
+    const unsigned m = static_cast<unsigned>(n * ratio);
+    const Formula f = encode::random_ksat(n, m, 3, seed);
+
+    solver::Solver s;
+    s.add_formula(f);
+    trace::MemoryTraceWriter trace_writer;
+    s.set_trace_writer(&trace_writer);
+    std::ostringstream drup_text;
+    trace::DrupWriter drup_writer(drup_text);
+    s.set_drup_writer(&drup_writer);
+    const solver::SolveResult solved = s.solve();
+    const trace::MemoryTrace t = trace_writer.take();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " n=" + std::to_string(n) +
+                 " m=" + std::to_string(m));
+
+    if (solved == solver::SolveResult::Satisfiable) {
+      // The model must verify, and no backend may claim an unsat proof
+      // from a SAT run's trace.
+      EXPECT_TRUE(satisfies(f, s.model()));
+      trace::MemoryTraceReader r(t);
+      EXPECT_FALSE(checker::check_depth_first(f, r).ok);
+      trace::MemoryTraceReader r2(t);
+      EXPECT_FALSE(checker::check_parallel(f, r2).ok);
+      continue;
+    }
+    ASSERT_EQ(solved, solver::SolveResult::Unsatisfiable);
+    ++unsat_seen;
+
+    trace::MemoryTraceReader r1(t);
+    const checker::CheckResult df = checker::check_depth_first(f, r1);
+    trace::MemoryTraceReader r2(t);
+    const checker::CheckResult bf = checker::check_breadth_first(f, r2);
+    trace::MemoryTraceReader r3(t);
+    const checker::CheckResult hy = checker::check_hybrid(f, r3);
+    trace::MemoryTraceReader r4(t);
+    checker::ParallelOptions popts;
+    popts.jobs = 1 + static_cast<unsigned>(i % 4);  // rotate 1..4 workers
+    const checker::CheckResult par = checker::check_parallel(f, r4, popts);
+    std::istringstream drup_in(drup_text.str());
+    const checker::DrupCheckResult dr = checker::check_drup(f, drup_in);
+
+    EXPECT_TRUE(df.ok) << df.error;
+    EXPECT_TRUE(bf.ok) << bf.error;
+    EXPECT_TRUE(hy.ok) << hy.error;
+    EXPECT_TRUE(par.ok) << par.error;
+    EXPECT_TRUE(dr.ok) << dr.error;
+
+    // Stats agreement between the trace-replaying backends.
+    EXPECT_EQ(df.stats.total_derivations, bf.stats.total_derivations);
+    EXPECT_EQ(df.stats.total_derivations, par.stats.total_derivations);
+
+    // Core agreement for the backends that extract one.
+    ASSERT_FALSE(df.core.empty());
+    EXPECT_EQ(par.core, df.core);
+    EXPECT_EQ(par.stats.resolutions, df.stats.resolutions);
+    EXPECT_EQ(par.stats.clauses_built, df.stats.clauses_built);
+  }
+  // The ratio sweep straddles the phase transition, so a healthy fraction
+  // of every shard must actually exercise the proof path.
+  EXPECT_GE(unsat_seen, kInstancesPerShard / 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DifferentialFuzz,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace satproof

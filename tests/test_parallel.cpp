@@ -1,0 +1,225 @@
+// Tests for the wavefront-parallel checker: agreement with the sequential
+// depth-first checker on verdict, unsat core and stats; byte-identical
+// determinism across worker counts and repeated runs; rejection of
+// corrupted traces; and assumption-trace support.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/checker/depth_first.hpp"
+#include "src/checker/parallel.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/encode/parity.hpp"
+#include "src/encode/suite.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/fault_injector.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::checker {
+namespace {
+
+struct SolvedUnsat {
+  Formula formula;
+  trace::MemoryTrace trace;
+};
+
+SolvedUnsat solve_unsat(Formula f) {
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  return {std::move(f), w.take()};
+}
+
+CheckResult run_parallel(const SolvedUnsat& su, unsigned jobs) {
+  trace::MemoryTraceReader r(su.trace);
+  ParallelOptions opts;
+  opts.jobs = jobs;
+  return check_parallel(su.formula, r, opts);
+}
+
+/// Serializes a core exactly as a file dump would, to compare byte-for-byte.
+std::string core_bytes(const CheckResult& res) {
+  std::ostringstream out;
+  for (const ClauseId id : res.core) out << id << '\n';
+  return out.str();
+}
+
+TEST(ParallelChecker, MatchesDepthFirstOnVerdictCoreAndStats) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(6));
+  trace::MemoryTraceReader r(su.trace);
+  const CheckResult df = check_depth_first(su.formula, r);
+  ASSERT_TRUE(df.ok) << df.error;
+  const CheckResult par = run_parallel(su, 4);
+  ASSERT_TRUE(par.ok) << par.error;
+
+  EXPECT_EQ(par.core, df.core);
+  EXPECT_EQ(par.stats.total_derivations, df.stats.total_derivations);
+  EXPECT_EQ(par.stats.clauses_built, df.stats.clauses_built);
+  EXPECT_EQ(par.stats.resolutions, df.stats.resolutions);
+  EXPECT_EQ(par.stats.core_original_clauses, df.stats.core_original_clauses);
+  // Identical built set and identical accounting rules => identical peak.
+  EXPECT_EQ(par.stats.peak_mem_bytes, df.stats.peak_mem_bytes);
+}
+
+TEST(ParallelChecker, MatchesDepthFirstAcrossTheSmallSuite) {
+  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Small)) {
+    const SolvedUnsat su = solve_unsat(inst.formula);
+    trace::MemoryTraceReader r(su.trace);
+    const CheckResult df = check_depth_first(su.formula, r);
+    ASSERT_TRUE(df.ok) << inst.name << ": " << df.error;
+    const CheckResult par = run_parallel(su, 3);
+    ASSERT_TRUE(par.ok) << inst.name << ": " << par.error;
+    EXPECT_EQ(par.core, df.core) << inst.name;
+    EXPECT_EQ(par.stats.resolutions, df.stats.resolutions) << inst.name;
+  }
+}
+
+TEST(ParallelChecker, DeterministicCoreAcrossJobsAndRepeats) {
+  // The determinism regression of the issue: 20 runs spread over
+  // --jobs ∈ {1, 2, 4, 8} must produce byte-identical unsat-core output.
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(6));
+  const CheckResult first = run_parallel(su, 1);
+  ASSERT_TRUE(first.ok) << first.error;
+  const std::string reference = core_bytes(first);
+  ASSERT_FALSE(reference.empty());
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      const CheckResult res = run_parallel(su, jobs);
+      ASSERT_TRUE(res.ok) << "jobs=" << jobs << ": " << res.error;
+      EXPECT_EQ(core_bytes(res), reference)
+          << "jobs=" << jobs << " repeat=" << repeat;
+    }
+  }
+}
+
+TEST(ParallelChecker, JobsZeroMeansHardwareConcurrency) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(4));
+  const CheckResult res = run_parallel(su, 0);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(ParallelChecker, CoreCollectionCanBeDisabled) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(4));
+  trace::MemoryTraceReader r(su.trace);
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.collect_core = false;
+  const CheckResult res = check_parallel(su.formula, r, opts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.core.empty());
+  EXPECT_GT(res.stats.core_original_clauses, 0u);
+}
+
+TEST(ParallelChecker, TrivialPreprocessingConflictAccepted) {
+  Formula f;
+  f.add_clause({Lit::pos(0)});
+  f.add_clause({Lit::neg(0)});
+  const SolvedUnsat su = solve_unsat(std::move(f));
+  EXPECT_TRUE(su.trace.derivations.empty());
+  EXPECT_TRUE(run_parallel(su, 4).ok);
+}
+
+TEST(ParallelChecker, EmptyInputClauseAccepted) {
+  Formula f;
+  f.add_clause(std::initializer_list<Lit>{});
+  const SolvedUnsat su = solve_unsat(std::move(f));
+  EXPECT_TRUE(run_parallel(su, 4).ok);
+}
+
+TEST(ParallelChecker, RejectSatRunTrace) {
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Satisfiable);
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r(t);
+  const CheckResult res = check_parallel(f, r);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("final"), std::string::npos);
+}
+
+TEST(ParallelChecker, RejectTraceForDifferentFormula) {
+  const SolvedUnsat su = solve_unsat(encode::pigeonhole(5));
+  const Formula other = encode::pigeonhole(6);
+  trace::MemoryTraceReader r(su.trace);
+  const CheckResult res = check_parallel(other, r);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("original clauses"), std::string::npos);
+}
+
+TEST(ParallelChecker, RejectionDiagnosticIsDeterministicAcrossJobs) {
+  // Corrupt one derivation source; every worker count must reject with the
+  // same diagnostic (the lowest failing clause ID wins, not a thread race).
+  const Formula f = encode::pigeonhole(5);
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter inner;
+  trace::FaultInjector injector(inner, trace::FaultKind::DropSource,
+                                /*seed=*/7, /*target_index=*/5);
+  s.set_trace_writer(&injector);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  ASSERT_TRUE(injector.fired());
+  const trace::MemoryTrace t = inner.take();
+
+  std::string reference;
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    trace::MemoryTraceReader r(t);
+    ParallelOptions opts;
+    opts.jobs = jobs;
+    const CheckResult res = check_parallel(f, r, opts);
+    ASSERT_FALSE(res.ok) << "jobs=" << jobs;
+    ASSERT_FALSE(res.error.empty());
+    if (reference.empty()) {
+      reference = res.error;
+    } else {
+      EXPECT_EQ(res.error, reference) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelChecker, ValidatesAssumptionRefutationTrace) {
+  // x0 -> x1 -> x2; assuming x0 and ~x2 is refutable.
+  Formula f(3);
+  f.add_clause({Lit::neg(0), Lit::pos(1)});
+  f.add_clause({Lit::neg(1), Lit::pos(2)});
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  const Lit assume[] = {Lit::pos(0), Lit::neg(2)};
+  ASSERT_EQ(s.solve(assume), solver::SolveResult::Unsatisfiable);
+  const trace::MemoryTrace t = w.take();
+
+  trace::MemoryTraceReader r1(t);
+  const CheckResult df = check_depth_first(f, r1);
+  ASSERT_TRUE(df.ok) << df.error;
+  trace::MemoryTraceReader r2(t);
+  ParallelOptions opts;
+  opts.jobs = 4;
+  const CheckResult par = check_parallel(f, r2, opts);
+  ASSERT_TRUE(par.ok) << par.error;
+  EXPECT_FALSE(par.failed_assumption_clause.empty());
+  EXPECT_EQ(par.failed_assumption_clause, df.failed_assumption_clause);
+}
+
+TEST(ParallelChecker, BigTseitinTraceMatchesDepthFirst) {
+  // A heavier instance with deep derivation chains, exercising multi-level
+  // wavefronts and antecedent-closure rebuilds during the final derivation.
+  const SolvedUnsat su = solve_unsat(encode::tseitin_torus(3, 3, 11));
+  trace::MemoryTraceReader r(su.trace);
+  const CheckResult df = check_depth_first(su.formula, r);
+  ASSERT_TRUE(df.ok) << df.error;
+  const CheckResult par = run_parallel(su, 4);
+  ASSERT_TRUE(par.ok) << par.error;
+  EXPECT_EQ(par.core, df.core);
+  EXPECT_EQ(par.stats.resolutions, df.stats.resolutions);
+}
+
+}  // namespace
+}  // namespace satproof::checker

@@ -1,0 +1,232 @@
+// Adversarial trace corpus: every checker backend must reject truncated,
+// reordered, wrong-antecedent, wrong-source and cyclic-dependency traces —
+// no crash, no false VERIFIED. The happy path is covered elsewhere; this
+// file is the systematic hostile sweep across all four trace-replaying
+// backends (fault-injected solver traces) plus corrupted DRUP proofs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/checker/drup.hpp"
+#include "src/checker/hybrid.hpp"
+#include "src/checker/parallel.hpp"
+#include "src/encode/pigeonhole.hpp"
+#include "src/solver/solver.hpp"
+#include "src/trace/drup.hpp"
+#include "src/trace/fault_injector.hpp"
+#include "src/trace/memory.hpp"
+
+namespace satproof::checker {
+namespace {
+
+struct BackendRun {
+  const char* name;
+  CheckResult result;
+};
+
+/// Runs all four trace-replaying backends on one trace.
+std::vector<BackendRun> run_all(const Formula& f, const trace::MemoryTrace& t) {
+  std::vector<BackendRun> runs;
+  {
+    trace::MemoryTraceReader r(t);
+    runs.push_back({"depth-first", check_depth_first(f, r)});
+  }
+  {
+    trace::MemoryTraceReader r(t);
+    runs.push_back({"breadth-first", check_breadth_first(f, r)});
+  }
+  {
+    trace::MemoryTraceReader r(t);
+    runs.push_back({"hybrid", check_hybrid(f, r)});
+  }
+  {
+    trace::MemoryTraceReader r(t);
+    ParallelOptions opts;
+    opts.jobs = 3;
+    runs.push_back({"parallel", check_parallel(f, r, opts)});
+  }
+  return runs;
+}
+
+void expect_all_reject(const Formula& f, const trace::MemoryTrace& t,
+                       const std::string& what) {
+  for (const BackendRun& run : run_all(f, t)) {
+    EXPECT_FALSE(run.result.ok)
+        << run.name << " accepted a corrupt trace (" << what << ")";
+    if (!run.result.ok) {
+      EXPECT_FALSE(run.result.error.empty()) << run.name << " (" << what
+                                             << ") rejected without a "
+                                                "diagnostic";
+    }
+  }
+}
+
+/// Fault-injection sweep over every backend, mirroring the DF/BF sweep in
+/// test_checker.cpp but extended to the hybrid and parallel backends.
+class CorruptSweep : public ::testing::TestWithParam<trace::FaultKind> {};
+
+TEST_P(CorruptSweep, EveryBackendRejects) {
+  const trace::FaultKind kind = GetParam();
+  const Formula f = encode::pigeonhole(5);
+  for (const std::uint64_t target : {5ull, 0ull, 50ull}) {
+    solver::Solver s;
+    s.add_formula(f);
+    trace::MemoryTraceWriter inner;
+    trace::FaultInjector injector(inner, kind, /*seed=*/7, target);
+    s.set_trace_writer(&injector);
+    ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+    if (!injector.fired()) continue;
+    expect_all_reject(f, inner.take(), trace::to_string(kind));
+    return;
+  }
+  FAIL() << "fault " << trace::to_string(kind)
+         << " never fired on any target index";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, CorruptSweep,
+    ::testing::Values(trace::FaultKind::DropSource,
+                      trace::FaultKind::DuplicateSource,
+                      trace::FaultKind::ShuffleSources,
+                      trace::FaultKind::WrongSource,
+                      trace::FaultKind::DropDerivation,
+                      trace::FaultKind::WrongFinal,
+                      trace::FaultKind::FlipLevel0Value,
+                      trace::FaultKind::WrongAntecedent,
+                      trace::FaultKind::DropLevel0,
+                      trace::FaultKind::TruncateTrace),
+    [](const auto& info) {
+      std::string name = trace::to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------- hand-built pathologies
+
+/// A tiny UNSAT base: x0 and ~x0.
+Formula contradiction() {
+  Formula f(1);
+  f.add_clause({Lit::pos(0)});
+  f.add_clause({Lit::neg(0)});
+  return f;
+}
+
+TEST(CorruptTrace, SelfReferentialDerivationRejected) {
+  const Formula f = contradiction();
+  trace::MemoryTraceWriter w;
+  w.begin(1, 2);
+  const ClauseId src[] = {0, 2};  // clause 2 lists itself as a source
+  w.derivation(2, src);
+  w.final_conflict(2);
+  w.level0(0, true, 0);
+  w.end();
+  expect_all_reject(f, w.take(), "self-referential derivation");
+}
+
+TEST(CorruptTrace, ForwardCycleBetweenDerivationsRejected) {
+  const Formula f = contradiction();
+  trace::MemoryTraceWriter w;
+  w.begin(1, 2);
+  const ClauseId src2[] = {0, 3};  // 2 depends on 3...
+  w.derivation(2, src2);
+  const ClauseId src3[] = {1, 2};  // ...and 3 depends on 2
+  w.derivation(3, src3);
+  w.final_conflict(3);
+  w.level0(0, true, 0);
+  w.end();
+  expect_all_reject(f, w.take(), "derivation cycle");
+}
+
+TEST(CorruptTrace, CyclicLevel0AntecedentChainRejected) {
+  // Two variables each justified by the clause that needs the other first:
+  // the antecedent ordering check must refuse the circular trail.
+  Formula f(2);
+  f.add_clause({Lit::pos(0), Lit::pos(1)});   // 0
+  f.add_clause({Lit::pos(0), Lit::neg(1)});   // 1
+  f.add_clause({Lit::neg(0), Lit::pos(1)});   // 2
+  f.add_clause({Lit::neg(0), Lit::neg(1)});   // 3
+  trace::MemoryTraceWriter w;
+  w.begin(2, 4);
+  w.final_conflict(3);
+  w.level0(0, true, 0);  // x0 "implied" by clause 0, which needs x1 first
+  w.level0(1, true, 2);  // x1 "implied" by clause 2, which needs x0 first
+  w.end();
+  const trace::MemoryTrace t = w.take();
+  trace::MemoryTraceReader r1(t);
+  const CheckResult df = check_depth_first(f, r1);
+  EXPECT_FALSE(df.ok);
+  expect_all_reject(f, t, "cyclic level-0 antecedents");
+}
+
+TEST(CorruptTrace, MissingEndRecordRejected) {
+  // A MemoryTrace that never saw end(): the canonical truncation.
+  const Formula f = contradiction();
+  trace::MemoryTraceWriter w;
+  w.begin(1, 2);
+  w.final_conflict(0);
+  w.level0(0, false, 1);
+  // no end()
+  expect_all_reject(f, w.take(), "missing end record");
+}
+
+TEST(CorruptTrace, ReorderedLevel0TrailRejected) {
+  // Produce a genuine trace, then reverse the level-0 trail: antecedent
+  // validation depends on chronological order, so checkers must notice.
+  const Formula f = encode::pigeonhole(4);
+  solver::Solver s;
+  s.add_formula(f);
+  trace::MemoryTraceWriter w;
+  s.set_trace_writer(&w);
+  ASSERT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  trace::MemoryTrace t = w.take();
+  ASSERT_GE(t.level0.size(), 2u);
+  std::reverse(t.level0.begin(), t.level0.end());
+  expect_all_reject(f, t, "reversed level-0 trail");
+}
+
+// ----------------------------------------------------- DRUP proof corpus
+
+struct DrupRun {
+  Formula formula;
+  std::string proof;
+};
+
+DrupRun solve_with_drup(Formula f) {
+  solver::Solver s;
+  s.add_formula(f);
+  std::ostringstream proof;
+  trace::DrupWriter w(proof);
+  s.set_drup_writer(&w);
+  EXPECT_EQ(s.solve(), solver::SolveResult::Unsatisfiable);
+  return {std::move(f), proof.str()};
+}
+
+TEST(CorruptDrup, TruncatedProofRejected) {
+  const DrupRun run = solve_with_drup(encode::pigeonhole(5));
+  // Cut the proof before the final empty clause.
+  const std::size_t cut = run.proof.rfind("0\n");
+  ASSERT_NE(cut, std::string::npos);
+  std::istringstream in(run.proof.substr(0, cut));
+  const DrupCheckResult res = check_drup(run.formula, in);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+}
+
+TEST(CorruptDrup, NonRupClauseRejected) {
+  const DrupRun run = solve_with_drup(encode::pigeonhole(4));
+  // Prepend a clause no unit propagation can justify: a free unit clause
+  // over a fresh variable cannot be RUP with respect to the formula.
+  const std::string vars = std::to_string(run.formula.num_vars() + 1);
+  std::istringstream in(vars + " 0\n" + run.proof);
+  const DrupCheckResult res = check_drup(run.formula, in);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.error.empty());
+}
+
+}  // namespace
+}  // namespace satproof::checker

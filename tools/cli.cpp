@@ -13,6 +13,7 @@
 #include "src/checker/depth_first.hpp"
 #include "src/checker/drup.hpp"
 #include "src/checker/hybrid.hpp"
+#include "src/checker/parallel.hpp"
 #include "src/circuit/tseitin.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/cnf/model.hpp"
@@ -48,7 +49,10 @@ usage:
   satproof solve <file.cnf> [options]
       --trace FILE     write the resolution trace (ASCII; --binary for binary)
       --binary         binary trace format
-      --check MODE     validate an UNSAT answer in-process: df | bf | both
+      --check MODE     validate an UNSAT answer in-process:
+                       df | bf | parallel | both
+      --jobs N         worker threads for --check parallel (default: all
+                       hardware threads)
       --core FILE      write the unsatisfiable core as DIMACS
       --minimal-core   shrink the core to a set-minimal one first
       --proof-dot FILE write the proof DAG in graphviz format
@@ -69,11 +73,15 @@ usage:
       --drup FILE      also emit a DRUP proof (modern literal-based format)
       exit code: 10 SAT, 20 UNSAT, 0 unknown, 1 error
 
-  satproof check <file.cnf> <trace-file> [--bf] [--hybrid] [--rup] [--binary]
+  satproof check <file.cnf> <trace-file> [--checker=MODE] [--jobs=N] [--binary]
       replay a trace against the formula; exit 0 iff the proof is valid.
-      default: depth-first resolution replay; --bf breadth-first; --hybrid
-      the bounded-memory hybrid; --rup cross-validates every derived clause
-      by reverse unit propagation instead of replaying resolutions
+      --checker picks the backend: df (default) depth-first resolution
+      replay; bf breadth-first; hybrid the bounded-memory hybrid; parallel
+      wavefront-parallel depth-first across N worker threads (--jobs,
+      default: all hardware threads; identical verdict, core and stats to
+      df); rup cross-validates every derived clause by reverse unit
+      propagation instead of replaying resolutions. The flags --bf,
+      --hybrid and --rup remain as shorthands.
 
   satproof core <file.cnf> [--minimal] [--iterations N] [-o FILE]
       extract (and optionally minimize) an unsatisfiable core
@@ -157,7 +165,7 @@ class Args {
     return false;
   }
 
-  /// Consumes `--opt VALUE` if present; returns the value.
+  /// Consumes `--opt VALUE` or `--opt=VALUE` if present; returns the value.
   std::optional<std::string> take_option(const std::string& opt) {
     for (std::size_t i = pos_; i < args_.size(); ++i) {
       if (args_[i] == opt) {
@@ -167,6 +175,13 @@ class Args {
         std::string value = args_[i + 1];
         args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
                     args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+      }
+      if (args_[i].size() > opt.size() + 1 &&
+          args_[i].compare(0, opt.size(), opt) == 0 &&
+          args_[i][opt.size()] == '=') {
+        std::string value = args_[i].substr(opt.size() + 1);
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
         return value;
       }
     }
@@ -210,6 +225,11 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
   const bool binary = args.take_flag("--binary");
   const auto trace_path = args.take_option("--trace");
   const auto check_mode = args.take_option("--check");
+  unsigned jobs = 0;
+  if (const auto v = args.take_option("--jobs")) {
+    jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
+    if (jobs == 0) throw CliError("--jobs must be at least 1");
+  }
   const auto core_path = args.take_option("--core");
   const bool minimal_core_wanted = args.take_flag("--minimal-core");
   const auto dot_path = args.take_option("--proof-dot");
@@ -232,8 +252,8 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
   args.expect_done();
 
   if (check_mode && *check_mode != "df" && *check_mode != "bf" &&
-      *check_mode != "both") {
-    throw CliError("--check expects df, bf or both");
+      *check_mode != "parallel" && *check_mode != "both") {
+    throw CliError("--check expects df, bf, parallel or both");
   }
 
   const Formula f = dimacs::parse_file(cnf_path);
@@ -396,6 +416,20 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
     }
     out << "c breadth-first check ok in " << ct.elapsed_seconds() << "s\n";
   }
+  if (check_mode && *check_mode == "parallel") {
+    trace::MemoryTraceReader reader(t);
+    util::Timer ct;
+    checker::ParallelOptions popts;
+    popts.jobs = jobs;
+    const checker::CheckResult pr = checker::check_parallel(f, reader, popts);
+    if (!pr.ok) {
+      err << "PROOF CHECK FAILED (parallel): " << pr.error << "\n";
+      return kExitError;
+    }
+    out << "c parallel check ok in " << ct.elapsed_seconds() << "s ("
+        << pr.stats.clauses_built << "/" << pr.stats.total_derivations
+        << " clauses built)\n";
+  }
 
   if (core_path) {
     std::vector<ClauseId> ids;
@@ -448,11 +482,25 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const bool use_hybrid = args.take_flag("--hybrid");
   const bool use_rup = args.take_flag("--rup");
   const bool binary = args.take_flag("--binary");
+  const auto checker_opt = args.take_option("--checker");
+  unsigned jobs = 0;
+  if (const auto v = args.take_option("--jobs")) {
+    jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
+    if (jobs == 0) throw CliError("--jobs must be at least 1");
+  }
   const std::string cnf_path = args.next("CNF file");
   const std::string trace_path = args.next("trace file");
   args.expect_done();
-  if (use_bf + use_hybrid + use_rup > 1) {
-    throw CliError("pick at most one of --bf, --hybrid, --rup");
+  if (use_bf + use_hybrid + use_rup + checker_opt.has_value() > 1) {
+    throw CliError("pick at most one of --checker, --bf, --hybrid, --rup");
+  }
+  std::string mode = use_bf       ? "bf"
+                     : use_hybrid ? "hybrid"
+                     : use_rup    ? "rup"
+                                  : checker_opt.value_or("df");
+  if (mode != "df" && mode != "bf" && mode != "hybrid" && mode != "rup" &&
+      mode != "parallel") {
+    throw CliError("--checker expects df, bf, hybrid, rup or parallel");
   }
 
   const Formula f = dimacs::parse_file(cnf_path);
@@ -462,7 +510,7 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const auto reader = open_trace_reader(in, binary);
 
   util::Timer timer;
-  if (use_rup) {
+  if (mode == "rup") {
     const proof::RupResult result = proof::check_trace_rup(f, *reader);
     if (result.ok) {
       out << "VERIFIED (RUP): " << result.clauses_checked
@@ -475,10 +523,14 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
     return kExitError;
   }
 
+  checker::ParallelOptions popts;
+  popts.jobs = jobs;
   const checker::CheckResult result =
-      use_bf       ? checker::check_breadth_first(f, *reader)
-      : use_hybrid ? checker::check_hybrid(f, *reader)
-                   : checker::check_depth_first(f, *reader);
+      mode == "bf"       ? checker::check_breadth_first(f, *reader)
+      : mode == "hybrid" ? checker::check_hybrid(f, *reader)
+      : mode == "parallel"
+          ? checker::check_parallel(f, *reader, popts)
+          : checker::check_depth_first(f, *reader);
   if (result.ok) {
     if (result.failed_assumption_clause.empty()) {
       out << "VERIFIED: valid resolution proof of unsatisfiability ("
