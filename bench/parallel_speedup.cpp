@@ -10,6 +10,7 @@
 // parallel rows measure pure scheduling overhead (expect ~1.0x or below);
 // the wavefront structure only pays off with real cores to spread across.
 
+#include <cstring>
 #include <iostream>
 #include <thread>
 
@@ -21,14 +22,28 @@
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace satproof;
+
+  // --quick: the small suite, for CI smoke runs where the point is that
+  // the harness works, not the absolute numbers.
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::cerr << "usage: parallel_speedup [--quick]\n";
+      return 2;
+    }
+  }
 
   util::Table table({"Instance", "Derivs", "Built", "DF (s)",
                      "Par j=1 (s)", "Par j=2 (s)", "Par j=4 (s)",
                      "Speedup j=4"});
 
-  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Standard)) {
+  const encode::SuiteScale scale =
+      quick ? encode::SuiteScale::Small : encode::SuiteScale::Standard;
+  for (const auto& inst : encode::unsat_suite(scale)) {
     trace::MemoryTraceWriter writer;
     solver::Solver s;
     s.add_formula(inst.formula);

@@ -1,5 +1,6 @@
-// Reproduces Table 2 of the paper: depth-first vs breadth-first checking
-// of the trace of every suite instance.
+// Reproduces Table 2 of the paper: depth-first vs breadth-first vs hybrid
+// checking of the trace of every suite instance, and emits the numbers as
+// JSON so regressions of the checker hot path are visible in review.
 //
 // Paper columns: Instance Name | Trace Size (KB) | Depth First {Num. Cls
 // Built, Built%, Runtime (s), Peak Mem (KB)} | Breadth First {Runtime (s),
@@ -10,33 +11,139 @@
 // whole trace plus every built clause, and runs out of memory on the two
 // hardest instances under an 800 MB cap); breadth-first finishes
 // everything in a small, bounded clause window; built% is 19-90%.
+//
+// The timed path reads the *binary* trace format from disk — the
+// production configuration — so both trace decoding and clause storage
+// are inside the measurement.
+//
+// usage: table2_checkers [--quick] [--json FILE] [--baseline FILE]
+//   --quick      run the Small suite (CI smoke; seconds in total)
+//   --json FILE  write the measurements as JSON
+//   --baseline FILE
+//                embed a previous --json run as the "baseline" block and
+//                emit a baseline-vs-current comparison (DF speedup, peak
+//                reduction)
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/checker/breadth_first.hpp"
 #include "src/checker/depth_first.hpp"
 #include "src/checker/hybrid.hpp"
 #include "src/encode/suite.hpp"
 #include "src/solver/solver.hpp"
-#include "src/trace/ascii.hpp"
+#include "src/trace/binary.hpp"
 #include "src/util/table.hpp"
 #include "src/util/temp_file.hpp"
 #include "src/util/timer.hpp"
 
-int main() {
-  using namespace satproof;
+namespace {
+
+using namespace satproof;
+
+constexpr int kTimingRuns = 3;  // wall time is the best of these
+
+struct BackendNumbers {
+  double seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  checker::CheckResult result;
+};
+
+struct InstanceNumbers {
+  std::string name;
+  std::uintmax_t trace_bytes = 0;
+  double solve_seconds = 0.0;
+  BackendNumbers df, bf, hybrid;
+};
+
+/// Opens the binary trace for one timed checking run.
+std::unique_ptr<trace::TraceReader> open_trace(std::ifstream& in,
+                                               const std::string& path) {
+  in.open(path, std::ios::in | std::ios::binary);
+  if (!in) {
+    std::cerr << "FATAL: cannot reopen trace " << path << "\n";
+    std::exit(1);
+  }
+  return std::make_unique<trace::BinaryTraceReader>(in);
+}
+
+template <typename CheckFn>
+BackendNumbers time_backend(const std::string& trace_path, const char* name,
+                            const std::string& instance, CheckFn check) {
+  BackendNumbers out;
+  out.seconds = 1e100;
+  for (int run = 0; run < kTimingRuns; ++run) {
+    std::ifstream in;
+    const auto reader = open_trace(in, trace_path);
+    util::Timer t;
+    checker::CheckResult r = check(*reader);
+    const double secs = t.elapsed_seconds();
+    if (!r.ok) {
+      std::cerr << "FATAL: " << name << " check failed on " << instance
+                << ": " << r.error << "\n";
+      std::exit(1);
+    }
+    out.seconds = std::min(out.seconds, secs);
+    out.peak_bytes = r.stats.peak_mem_bytes;
+    out.result = std::move(r);
+  }
+  return out;
+}
+
+void json_backend(std::ostream& os, const char* key,
+                  const BackendNumbers& b) {
+  os << "\"" << key << "\": {\"seconds\": " << b.seconds
+     << ", \"peak_bytes\": " << b.peak_bytes << "}";
+}
+
+/// Extracts the number following `"key": ` in a JSON blob emitted by this
+/// bench. Returns -1 when absent. (The baseline file is our own output, so
+/// a targeted scan is enough — no JSON library in the toolchain.)
+double extract_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, baseline_path;
+  auto scale = encode::SuiteScale::Standard;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      scale = encode::SuiteScale::Small;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::cerr << "usage: table2_checkers [--quick] [--json FILE] "
+                   "[--baseline FILE]\n";
+      return 1;
+    }
+  }
 
   util::Table table({"Instance", "Trace (KB)", "Solve (s)", "DF Cls Built",
                      "Built%", "DF Time (s)", "DF Peak (KB)", "BF Time (s)",
                      "BF Peak (KB)", "HY Time (s)", "HY Peak (KB)"});
 
-  for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Standard)) {
+  std::vector<InstanceNumbers> rows;
+  for (const auto& inst : encode::unsat_suite(scale)) {
+    InstanceNumbers row;
+    row.name = inst.name;
+
     util::TempFile trace_file("table2-trace");
-    double solve_secs = 0.0;
     {
-      std::ofstream out(trace_file.path());
-      trace::AsciiTraceWriter writer(out);
+      std::ofstream out(trace_file.path(),
+                        std::ios::out | std::ios::binary);
+      trace::BinaryTraceWriter writer(out);
       solver::Solver s;
       s.add_formula(inst.formula);
       s.set_trace_writer(&writer);
@@ -45,67 +152,39 @@ int main() {
         std::cerr << "FATAL: " << inst.name << " not UNSAT\n";
         return 1;
       }
-      solve_secs = t.elapsed_seconds();
+      row.solve_seconds = t.elapsed_seconds();
     }
-    const auto trace_bytes = std::filesystem::file_size(trace_file.path());
+    row.trace_bytes = std::filesystem::file_size(trace_file.path());
+    const std::string path = trace_file.path().string();
 
-    checker::CheckResult df;
-    double df_secs = 0.0;
-    {
-      std::ifstream in(trace_file.path());
-      trace::AsciiTraceReader reader(in);
-      util::Timer t;
-      df = checker::check_depth_first(inst.formula, reader);
-      df_secs = t.elapsed_seconds();
-      if (!df.ok) {
-        std::cerr << "FATAL: depth-first check failed on " << inst.name
-                  << ": " << df.error << "\n";
-        return 1;
-      }
-    }
+    row.df = time_backend(path, "depth-first", inst.name,
+                          [&](trace::TraceReader& r) {
+                            return checker::check_depth_first(inst.formula, r);
+                          });
+    row.bf = time_backend(path, "breadth-first", inst.name,
+                          [&](trace::TraceReader& r) {
+                            return checker::check_breadth_first(inst.formula,
+                                                                r);
+                          });
+    row.hybrid = time_backend(path, "hybrid", inst.name,
+                              [&](trace::TraceReader& r) {
+                                return checker::check_hybrid(inst.formula, r);
+                              });
 
-    checker::CheckResult bf;
-    double bf_secs = 0.0;
-    {
-      std::ifstream in(trace_file.path());
-      trace::AsciiTraceReader reader(in);
-      util::Timer t;
-      bf = checker::check_breadth_first(inst.formula, reader);
-      bf_secs = t.elapsed_seconds();
-      if (!bf.ok) {
-        std::cerr << "FATAL: breadth-first check failed on " << inst.name
-                  << ": " << bf.error << "\n";
-        return 1;
-      }
-    }
-
-    checker::CheckResult hy;
-    double hy_secs = 0.0;
-    {
-      std::ifstream in(trace_file.path());
-      trace::AsciiTraceReader reader(in);
-      util::Timer t;
-      hy = checker::check_hybrid(inst.formula, reader);
-      hy_secs = t.elapsed_seconds();
-      if (!hy.ok) {
-        std::cerr << "FATAL: hybrid check failed on " << inst.name << ": "
-                  << hy.error << "\n";
-        return 1;
-      }
-    }
-
+    const auto& df = row.df.result;
     table.add_row(
-        {inst.name, util::format_kb(trace_bytes),
-         util::format_double(solve_secs, 3),
+        {row.name, util::format_kb(row.trace_bytes),
+         util::format_double(row.solve_seconds, 3),
          std::to_string(df.stats.clauses_built),
          util::format_percent(static_cast<double>(df.stats.clauses_built),
                               static_cast<double>(df.stats.total_derivations)),
-         util::format_double(df_secs, 3),
-         util::format_kb(df.stats.peak_mem_bytes),
-         util::format_double(bf_secs, 3),
-         util::format_kb(bf.stats.peak_mem_bytes),
-         util::format_double(hy_secs, 3),
-         util::format_kb(hy.stats.peak_mem_bytes)});
+         util::format_double(row.df.seconds, 3),
+         util::format_kb(row.df.peak_bytes),
+         util::format_double(row.bf.seconds, 3),
+         util::format_kb(row.bf.peak_bytes),
+         util::format_double(row.hybrid.seconds, 3),
+         util::format_kb(row.hybrid.peak_bytes)});
+    rows.push_back(std::move(row));
   }
 
   std::cout
@@ -115,5 +194,92 @@ int main() {
       << " HY columns: the hybrid checker the paper's conclusion calls for —\n"
       << " builds only the DF subgraph inside a BF-style clause window)\n\n"
       << table.to_string();
+
+  if (json_path.empty()) return 0;
+
+  // Totals drive the baseline comparison.
+  double df_secs = 0, bf_secs = 0, hy_secs = 0;
+  std::size_t df_peak = 0, bf_peak = 0, hy_peak = 0;
+  std::uintmax_t trace_total = 0;
+  for (const auto& row : rows) {
+    df_secs += row.df.seconds;
+    bf_secs += row.bf.seconds;
+    hy_secs += row.hybrid.seconds;
+    df_peak += row.df.peak_bytes;
+    bf_peak += row.bf.peak_bytes;
+    hy_peak += row.hybrid.peak_bytes;
+    trace_total += row.trace_bytes;
+  }
+
+  std::ostringstream current;
+  current << "{\n    \"suite\": \""
+          << (scale == encode::SuiteScale::Small ? "small" : "standard")
+          << "\",\n    \"trace_format\": \"binary\",\n    \"instances\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    current << "      {\"name\": \"" << row.name
+            << "\", \"trace_bytes\": " << row.trace_bytes
+            << ", \"solve_seconds\": " << row.solve_seconds << ", ";
+    json_backend(current, "df", row.df);
+    current << ", ";
+    json_backend(current, "bf", row.bf);
+    current << ", ";
+    json_backend(current, "hybrid", row.hybrid);
+    current << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  current << "    ],\n    \"totals\": {\"trace_bytes\": " << trace_total
+          << ", \"df_seconds\": " << df_secs << ", \"bf_seconds\": "
+          << bf_secs << ", \"hybrid_seconds\": " << hy_secs
+          << ", \"df_peak_bytes\": " << df_peak << ", \"bf_peak_bytes\": "
+          << bf_peak << ", \"hybrid_peak_bytes\": " << hy_peak << "}\n  }";
+
+  std::ofstream js(json_path);
+  if (!js) {
+    std::cerr << "FATAL: cannot open " << json_path << "\n";
+    return 1;
+  }
+  js << "{\n  \"bench\": \"table2_checkers\",\n  \"arena\": "
+     << current.str();
+
+  if (!baseline_path.empty()) {
+    std::ifstream bl(baseline_path);
+    if (!bl) {
+      std::cerr << "FATAL: cannot open baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::ostringstream blob;
+    blob << bl.rdbuf();
+    const std::string text = blob.str();
+    // The baseline file is a previous --json output; embed its "arena"
+    // block (the measurement of whatever the tree looked like then).
+    const auto begin = text.find("\"arena\": ");
+    const auto end = text.rfind('}');  // closes the outer object
+    std::string base_block = "null";
+    if (begin != std::string::npos && end != std::string::npos) {
+      base_block = text.substr(begin + 9, end - begin - 9);
+      while (!base_block.empty() &&
+             (base_block.back() == '\n' || base_block.back() == ' ' ||
+              base_block.back() == ',')) {
+        base_block.pop_back();
+      }
+    }
+    js << ",\n  \"baseline\": " << base_block;
+
+    const double base_df_secs = extract_number(text, "df_seconds");
+    const double base_df_peak = extract_number(text, "df_peak_bytes");
+    const double base_bf_peak = extract_number(text, "bf_peak_bytes");
+    if (base_df_secs > 0 && base_df_peak > 0) {
+      js << ",\n  \"comparison\": {\"df_speedup\": "
+         << base_df_secs / df_secs << ", \"df_peak_reduction\": "
+         << 1.0 - static_cast<double>(df_peak) / base_df_peak
+         << ", \"bf_peak_reduction\": "
+         << (base_bf_peak > 0
+                 ? 1.0 - static_cast<double>(bf_peak) / base_bf_peak
+                 : 0.0)
+         << "}";
+    }
+  }
+  js << "\n}\n";
+  std::cout << "\nJSON written to " << json_path << "\n";
   return 0;
 }

@@ -1,7 +1,7 @@
 #include "src/checker/breadth_first.hpp"
 
+#include <algorithm>
 #include <optional>
-#include <unordered_map>
 
 namespace satproof::checker {
 
@@ -31,7 +31,7 @@ class BreadthFirstChecker {
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
       resolution_pass();
-      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+      const ClauseFetcher fetch = [this](ClauseId id) {
         return fetch_clause(id);
       };
       SortedClause remaining =
@@ -48,7 +48,13 @@ class BreadthFirstChecker {
       result.ok = false;
       result.error = std::string("trace error: ") + e.what();
     }
-    stats_.peak_mem_bytes = mem_.peak_bytes();
+    // The counts/level-0 footprint only grows and the clause window lives
+    // entirely in the arena, so the two peaks compose additively.
+    const util::ClauseArena& arena = store_.arena();
+    stats_.peak_mem_bytes = mem_.peak_bytes() + arena.peak_bytes();
+    stats_.arena_allocated_bytes = arena.allocated_bytes();
+    stats_.arena_recycled_bytes = arena.recycled_bytes();
+    stats_.arena_peak_bytes = arena.peak_bytes();
     result.stats = stats_;
     return result;
   }
@@ -194,26 +200,26 @@ class BreadthFirstChecker {
       }
       ++stats_.clauses_built;
 
-      // Release sources whose last use this was.
+      // Release sources whose last use this was; their arena blocks go on
+      // the free lists, so the derived clause below typically reuses one.
       for (const ClauseId s : rec.sources) {
         if (s < num_original()) continue;
         if (counts_->decrement(ordinal(s)) == 0) release(s);
       }
       // Keep the freshly built clause only if something still needs it.
       if (counts_->get(ordinal(rec.id)) > 0) {
-        SortedClause derived = chain_.take();
+        const std::span<Lit> derived = chain_.lits_mutable();
         std::sort(derived.begin(), derived.end());
-        mem_.add(util::clause_footprint_bytes(derived.size()));
-        live_.emplace(rec.id, std::move(derived));
+        store_.put(rec.id, derived);
       }
     }
   }
 
   /// Fetches a clause for resolution: originals are canonicalized into a
   /// scratch buffer (the formula itself stays the single copy in memory);
-  /// learned clauses come from the live window. The returned reference is
-  /// valid until the next fetch.
-  const SortedClause& fetch_clause(ClauseId id) {
+  /// learned clauses come from the live window. The returned view is valid
+  /// until the next fetch.
+  ClauseView fetch_clause(ClauseId id) {
     if (id < num_original()) {
       scratch_ = canonicalize(formula_->clause(id));
       if (is_tautology(scratch_)) {
@@ -223,21 +229,18 @@ class BreadthFirstChecker {
       }
       return scratch_;
     }
-    const auto it = live_.find(id);
-    if (it == live_.end()) {
+    if (!store_.contains(id)) {
       throw CheckFailure(
           "clause " + std::to_string(id) +
           " is not available: it was never derived, or its use count was "
           "exhausted earlier than the trace implies");
     }
-    return it->second;
+    return store_.view(id);
   }
 
   void release(ClauseId id) {
-    const auto it = live_.find(id);
-    if (it == live_.end()) return;  // built but discarded immediately
-    mem_.remove(util::clause_footprint_bytes(it->second.size()));
-    live_.erase(it);
+    // A clause built but discarded immediately never entered the store.
+    if (store_.contains(id)) store_.release(id);
   }
 
   const Formula* formula_;
@@ -247,7 +250,7 @@ class BreadthFirstChecker {
   std::unique_ptr<UseCountStore> counts_;
   std::optional<ClauseId> final_id_;
   std::uint64_t num_learned_slots_ = 0;
-  std::unordered_map<ClauseId, SortedClause> live_;
+  ClauseStore store_;
   SortedClause scratch_;
   ChainResolver chain_;
   util::MemTracker mem_;

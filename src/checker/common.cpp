@@ -1,6 +1,7 @@
 #include "src/checker/common.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace satproof::checker {
 
@@ -9,6 +10,98 @@ namespace {
 std::string lit_str(Lit lit) { return to_string(lit); }
 
 }  // namespace
+
+void DerivationIndex::add(ClauseId id, std::span<const ClauseId> sources) {
+  if (id < num_original_) {
+    throw CheckFailure("derivation " + std::to_string(id) +
+                       " reuses an original clause ID");
+  }
+  if (sources.size() < 2) {
+    throw CheckFailure("derivation " + std::to_string(id) +
+                       " has fewer than two resolve sources");
+  }
+  for (const ClauseId s : sources) {
+    if (s >= id) {
+      throw CheckFailure(
+          "derivation " + std::to_string(id) + " references source " +
+          std::to_string(s) +
+          " that does not precede it; derivations must be acyclic");
+    }
+  }
+  const ClauseId ord = id - num_original_;
+  if (ord >= entries_.size()) entries_.resize(ord + 1);
+  Entry& e = entries_[ord];
+  if (e.len != 0) {
+    throw CheckFailure("clause " + std::to_string(id) + " is derived twice");
+  }
+  if (pool_.size() + sources.size() >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw CheckFailure("trace too large: derivation source pool exceeds 2^32");
+  }
+  // Sources precede `id` (checked above), so this bounds them too and the
+  // narrowing below is lossless.
+  if (id > std::numeric_limits<std::uint32_t>::max()) {
+    throw CheckFailure("trace too large: clause IDs exceed 2^32");
+  }
+  e.begin = static_cast<std::uint32_t>(pool_.size());
+  e.len = static_cast<std::uint32_t>(sources.size());
+  for (const ClauseId s : sources) {
+    pool_.push_back(static_cast<std::uint32_t>(s));
+  }
+  max_id_ = std::max(max_id_, id);
+  ++num_records_;
+}
+
+std::span<const std::uint32_t> DerivationIndex::sources_of(
+    ClauseId id) const {
+  if (!contains(id)) {
+    throw CheckFailure("clause " + std::to_string(id) +
+                       " is referenced but never derived in the trace");
+  }
+  const Entry& e = entries_[id - num_original_];
+  return {pool_.data() + e.begin, e.len};
+}
+
+std::optional<ClauseId> load_full_trace(trace::TraceReader& reader,
+                                        DerivationIndex& derivations,
+                                        Level0Table& level0,
+                                        util::MemTracker& mem,
+                                        CheckStats& stats) {
+  reader.rewind();
+  std::optional<ClauseId> final_id;
+  trace::Record rec;
+  bool ended = false;
+  while (!ended && reader.next(rec)) {
+    switch (rec.kind) {
+      case trace::RecordKind::Derivation:
+        derivations.add(rec.id, rec.sources);
+        mem.add(derivation_record_bytes(rec.sources.size()));
+        ++stats.total_derivations;
+        break;
+      case trace::RecordKind::FinalConflict:
+        if (final_id.has_value()) {
+          throw CheckFailure("trace has more than one final conflict record");
+        }
+        final_id = rec.id;
+        break;
+      case trace::RecordKind::Level0:
+        level0.add(rec.var, rec.value, rec.antecedent);
+        mem.add(16);
+        break;
+      case trace::RecordKind::Assumption:
+        level0.add_assumption(rec.var, rec.value);
+        mem.add(16);
+        break;
+      case trace::RecordKind::End:
+        ended = true;
+        break;
+    }
+  }
+  if (!ended) {
+    throw CheckFailure("trace truncated: missing end record");
+  }
+  return final_id;
+}
 
 Level0Table::Level0Table(Var num_vars) : entries_(num_vars) {}
 
@@ -56,8 +149,8 @@ LBool Level0Table::lit_value(Lit lit) const {
   return val ? LBool::True : LBool::False;
 }
 
-void check_antecedent(const SortedClause& clause, Var var,
-                      const Level0Table& table, const std::string& what) {
+void check_antecedent(ClauseView clause, Var var, const Level0Table& table,
+                      const std::string& what) {
   // The antecedent must be unit under the prefix of the level-0 trail that
   // precedes `var`'s assignment, with `var`'s literal as the unit literal.
   bool found_unit = false;
@@ -99,7 +192,7 @@ SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
                                  const Level0Table& table, CheckStats& stats) {
   ChainResolver chain;
   {
-    const SortedClause& final_clause = fetch(final_id);
+    const ClauseView final_clause = fetch(final_id);
     for (const Lit lit : final_clause) {
       const LBool v = table.lit_value(lit);
       if (v == LBool::Undef) {
@@ -146,7 +239,7 @@ SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
     }
     const Var v = chosen.var();
     const ClauseId ante_id = table.antecedent(v);
-    const SortedClause& ante = fetch(ante_id);
+    const ClauseView ante = fetch(ante_id);
     check_antecedent(ante, v, table, "antecedent clause " +
                                          std::to_string(ante_id) + " of x" +
                                          std::to_string(v));

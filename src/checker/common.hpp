@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "src/checker/resolution.hpp"
 #include "src/cnf/formula.hpp"
 #include "src/trace/events.hpp"
+#include "src/util/arena.hpp"
 #include "src/util/mem_tracker.hpp"
 
 namespace satproof::checker {
@@ -32,6 +35,13 @@ struct CheckStats {
   /// Distinct original clauses used by the proof (depth-first only); the
   /// size of the unsatisfiable core of Table 3.
   std::uint64_t core_original_clauses = 0;
+  /// Clause-arena traffic: cumulative bytes handed out, cumulative bytes
+  /// served from free lists instead of fresh space, and the high-water
+  /// mark of live clause bytes. Deterministic for a given trace regardless
+  /// of backend parallelism (the parallel checker sums its shards).
+  std::size_t arena_allocated_bytes = 0;
+  std::size_t arena_recycled_bytes = 0;
+  std::size_t arena_peak_bytes = 0;
 };
 
 /// Outcome of a checking run.
@@ -62,6 +72,132 @@ class CheckFailure : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// A read-only view of a canonical clause (sorted, duplicate-free
+/// literals). Checker clauses live in a ClauseArena; views are how they
+/// travel between components without copies.
+using ClauseView = std::span<const Lit>;
+
+/// ID-addressed clause storage shared by the replay backends: a
+/// ClauseArena for the literal blocks plus a flat, ID-indexed ref table
+/// (replacing the per-backend std::unordered_map<ClauseId, SortedClause>).
+/// IDs are solver-assigned and dense (originals first, then one fresh ID
+/// per learned clause), so a flat table is both smaller and faster than a
+/// hash map: contains/view are two array loads, no hashing, no node
+/// chasing.
+class ClauseStore {
+ public:
+  /// Pre-sizes the ref table for IDs in [0, num_ids). put() grows it on
+  /// demand, so this is an optimization, not a requirement.
+  void reserve(std::size_t num_ids) {
+    if (num_ids > refs_.size()) {
+      refs_.resize(num_ids, util::ClauseArena::kNullRef);
+    }
+  }
+
+  [[nodiscard]] bool contains(ClauseId id) const {
+    return id < refs_.size() && refs_[id] != util::ClauseArena::kNullRef;
+  }
+
+  /// View of the stored clause; `id` must be contains().
+  [[nodiscard]] ClauseView view(ClauseId id) const {
+    return arena_.view(refs_[id]);
+  }
+
+  /// Copies `lits` into the arena under `id` (which must not be stored).
+  void put(ClauseId id, ClauseView lits) {
+    if (id >= refs_.size()) {
+      refs_.resize(id + 1, util::ClauseArena::kNullRef);
+    }
+    refs_[id] = arena_.put(lits);
+  }
+
+  /// Releases `id`'s block for reuse; `id` must be contains().
+  void release(ClauseId id) {
+    arena_.release(refs_[id]);
+    refs_[id] = util::ClauseArena::kNullRef;
+  }
+
+  [[nodiscard]] util::ClauseArena& arena() { return arena_; }
+  [[nodiscard]] const util::ClauseArena& arena() const { return arena_; }
+
+  /// One past the highest ID the ref table covers.
+  [[nodiscard]] std::size_t id_limit() const { return refs_.size(); }
+
+ private:
+  util::ClauseArena arena_;
+  std::vector<util::ClauseArena::Ref> refs_;
+};
+
+/// Accounted footprint of one loaded derivation record: the source IDs in
+/// the pool (stored narrowed to 32 bits — see DerivationIndex) plus the
+/// per-record index entry. Shared by the depth-first and parallel checkers
+/// so the two report identical peak memory for the same trace.
+[[nodiscard]] inline std::size_t derivation_record_bytes(
+    std::size_t num_sources) {
+  return num_sources * sizeof(std::uint32_t) + 8;
+}
+
+/// The derivation DAG of a trace for whole-trace checkers (depth-first,
+/// parallel): source lists packed into one pool, indexed by a flat
+/// ordinal-indexed table (ordinal = id - num_original). Records validate
+/// on insertion with the same diagnostics the checkers have always
+/// produced.
+///
+/// The pool stores source IDs narrowed to 32 bits: the pool itself is
+/// capped at 2^32 entries and every source precedes its consumer, so IDs
+/// beyond 2^32 would blow the cap anyway — the trace is rejected as too
+/// large first. Halving the per-source footprint matters because the
+/// loaded trace rivals the memoized clauses for the depth-first checker's
+/// peak (Section 3.2 reads the entire trace into main memory).
+class DerivationIndex {
+ public:
+  explicit DerivationIndex(ClauseId num_original)
+      : num_original_(num_original) {}
+
+  /// Validates and stores one derivation record. Throws CheckFailure on an
+  /// original-ID reuse, fewer than two sources, a non-preceding source, or
+  /// a duplicate derivation.
+  void add(ClauseId id, std::span<const ClauseId> sources);
+
+  [[nodiscard]] bool contains(ClauseId id) const {
+    if (id < num_original_) return false;
+    const ClauseId ord = id - num_original_;
+    return ord < entries_.size() && entries_[ord].len != 0;
+  }
+
+  /// Source list of `id` (32-bit IDs; they widen losslessly to ClauseId).
+  /// Throws CheckFailure ("referenced but never derived") when absent.
+  [[nodiscard]] std::span<const std::uint32_t> sources_of(ClauseId id) const;
+
+  /// Highest derived ID seen (0 when empty — check num_records() first).
+  [[nodiscard]] ClauseId max_id() const { return max_id_; }
+  [[nodiscard]] std::uint64_t num_records() const { return num_records_; }
+
+ private:
+  struct Entry {
+    std::uint32_t begin = 0;  ///< offset into pool_
+    std::uint32_t len = 0;    ///< 0 = not derived (real records have >= 2)
+  };
+
+  ClauseId num_original_;
+  std::vector<std::uint32_t> pool_;
+  std::vector<Entry> entries_;  ///< by ordinal
+  ClauseId max_id_ = 0;
+  std::uint64_t num_records_ = 0;
+};
+
+/// Single-pass trace load for checkers that keep the whole DAG in memory
+/// (depth-first, parallel): fills `derivations` and `level0`, accounts the
+/// loaded bytes in `mem`, counts derivations in `stats`, and returns the
+/// final conflict ID (nullopt when the trace has none). Throws
+/// CheckFailure on any structural violation, including a missing end
+/// record.
+std::optional<ClauseId> load_full_trace(trace::TraceReader& reader,
+                                        DerivationIndex& derivations,
+                                        class Level0Table& level0,
+                                        util::MemTracker& mem,
+                                        CheckStats& stats);
 
 /// The final-trail assignment table reconstructed from the trace's Level0
 /// and Assumption records (Section 3.1, item 3; assumptions are the
@@ -127,13 +263,14 @@ class Level0Table {
 /// the paper's "whether the clause is really the antecedent of the
 /// variable" check. Throws CheckFailure with a diagnostic otherwise.
 /// `what` names the clause in diagnostics (e.g. "clause 42").
-void check_antecedent(const SortedClause& clause, Var var,
-                      const Level0Table& table, const std::string& what);
+void check_antecedent(ClauseView clause, Var var, const Level0Table& table,
+                      const std::string& what);
 
 /// Callback that produces the canonical clause for an ID, or throws
 /// CheckFailure. The depth-first checker builds on demand; the breadth-first
-/// checker looks up its live window.
-using ClauseFetcher = std::function<const SortedClause&(ClauseId)>;
+/// checker looks up its live window. The returned view stays valid until
+/// the next fetch.
+using ClauseFetcher = std::function<ClauseView(ClauseId)>;
 
 /// Derives the trace's final clause, exactly as in the proof of
 /// Proposition 3: starting from the final conflicting clause, repeatedly

@@ -2,35 +2,35 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_map>
 
 namespace satproof::checker {
 
 namespace {
 
-/// Estimated resident size of one loaded derivation record.
-std::size_t derivation_record_bytes(std::size_t num_sources) {
-  return num_sources * sizeof(ClauseId) + 48;
-}
-
 class DepthFirstChecker {
  public:
   DepthFirstChecker(const Formula& f, trace::TraceReader& reader)
-      : formula_(&f), reader_(&reader), level0_(reader.num_vars()) {}
+      : formula_(&f),
+        reader_(&reader),
+        level0_(reader.num_vars()),
+        derivations_(reader.num_original()) {}
 
   CheckResult run(const DepthFirstOptions& options) {
     CheckResult result;
     try {
       check_header(*formula_, reader_->num_vars(), reader_->num_original());
-      load_trace();
+      final_id_ =
+          load_full_trace(*reader_, derivations_, level0_, mem_, stats_);
       if (!final_id_.has_value()) {
         throw CheckFailure(
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
-      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
-        return build(id);
-      };
+      store_.reserve(std::max<ClauseId>(num_original(),
+                                        derivations_.num_records() != 0
+                                            ? derivations_.max_id() + 1
+                                            : 0));
+      const ClauseFetcher fetch = [this](ClauseId id) { return build(id); };
       SortedClause remaining =
           derive_final_clause(*final_id_, fetch, level0_, stats_);
       if (!remaining.empty()) {
@@ -45,17 +45,24 @@ class DepthFirstChecker {
       result.ok = false;
       result.error = std::string("trace error: ") + e.what();
     }
-    stats_.peak_mem_bytes = mem_.peak_bytes();
-    for (const auto& [id, clause] : memo_) {
-      if (id < num_original()) ++stats_.core_original_clauses;
+    const util::ClauseArena& arena = store_.arena();
+    stats_.peak_mem_bytes = mem_.peak_bytes() + arena.peak_bytes();
+    stats_.arena_allocated_bytes = arena.allocated_bytes();
+    stats_.arena_recycled_bytes = arena.recycled_bytes();
+    stats_.arena_peak_bytes = arena.peak_bytes();
+    // The ref table is ID-ordered, so one ascending scan of the original-ID
+    // prefix yields the core already sorted.
+    const ClauseId originals =
+        std::min<ClauseId>(num_original(), store_.id_limit());
+    for (ClauseId id = 0; id < originals; ++id) {
+      if (store_.contains(id)) ++stats_.core_original_clauses;
     }
     result.stats = stats_;
     if (result.ok && options.collect_core) {
       result.core.reserve(stats_.core_original_clauses);
-      for (const auto& [id, clause] : memo_) {
-        if (id < num_original()) result.core.push_back(id);
+      for (ClauseId id = 0; id < originals; ++id) {
+        if (store_.contains(id)) result.core.push_back(id);
       }
-      std::sort(result.core.begin(), result.core.end());
     }
     return result;
   }
@@ -65,83 +72,26 @@ class DepthFirstChecker {
     return reader_->num_original();
   }
 
-  void load_trace() {
-    reader_->rewind();
-    trace::Record rec;
-    bool ended = false;
-    while (!ended && reader_->next(rec)) {
-      switch (rec.kind) {
-        case trace::RecordKind::Derivation: {
-          if (rec.id < num_original()) {
-            throw CheckFailure("derivation " + std::to_string(rec.id) +
-                               " reuses an original clause ID");
-          }
-          if (rec.sources.size() < 2) {
-            throw CheckFailure("derivation " + std::to_string(rec.id) +
-                               " has fewer than two resolve sources");
-          }
-          for (const ClauseId s : rec.sources) {
-            if (s >= rec.id) {
-              throw CheckFailure(
-                  "derivation " + std::to_string(rec.id) +
-                  " references source " + std::to_string(s) +
-                  " that does not precede it; derivations must be acyclic");
-            }
-          }
-          const auto [it, inserted] =
-              derivations_.emplace(rec.id, std::move(rec.sources));
-          if (!inserted) {
-            throw CheckFailure("clause " + std::to_string(rec.id) +
-                               " is derived twice");
-          }
-          mem_.add(derivation_record_bytes(it->second.size()));
-          ++stats_.total_derivations;
-          break;
-        }
-        case trace::RecordKind::FinalConflict:
-          if (final_id_.has_value()) {
-            throw CheckFailure("trace has more than one final conflict record");
-          }
-          final_id_ = rec.id;
-          break;
-        case trace::RecordKind::Level0:
-          level0_.add(rec.var, rec.value, rec.antecedent);
-          mem_.add(16);
-          break;
-        case trace::RecordKind::Assumption:
-          level0_.add_assumption(rec.var, rec.value);
-          mem_.add(16);
-          break;
-        case trace::RecordKind::End:
-          ended = true;
-          break;
-      }
-    }
-    if (!ended) {
-      throw CheckFailure("trace truncated: missing end record");
-    }
-  }
-
   /// Returns the canonical clause for `id`, building it (and, recursively,
   /// its sources) on demand — recursive_build() of Fig. 3, with an explicit
   /// stack so pathological traces cannot overflow the call stack.
-  const SortedClause& build(ClauseId id) {
-    if (const auto it = memo_.find(id); it != memo_.end()) return it->second;
+  ClauseView build(ClauseId id) {
+    if (store_.contains(id)) return store_.view(id);
     if (id < num_original()) return build_original(id);
 
     struct Frame {
       ClauseId id;
-      const std::vector<ClauseId>* sources;
+      std::span<const std::uint32_t> sources;
       std::size_t scan = 0;
     };
     std::vector<Frame> stack;
-    stack.push_back({id, &sources_of(id)});
+    stack.push_back({id, derivations_.sources_of(id)});
     while (!stack.empty()) {
       Frame& f = stack.back();
       bool descended = false;
-      while (f.scan < f.sources->size()) {
-        const ClauseId s = (*f.sources)[f.scan];
-        if (memo_.contains(s)) {
+      while (f.scan < f.sources.size()) {
+        const ClauseId s = f.sources[f.scan];
+        if (store_.contains(s)) {
           ++f.scan;
           continue;
         }
@@ -152,45 +102,33 @@ class DepthFirstChecker {
         }
         // Sources strictly precede the derived ID (validated at load), so
         // this descent terminates.
-        stack.push_back({s, &sources_of(s)});
+        stack.push_back({s, derivations_.sources_of(s)});
         descended = true;
         break;
       }
       if (descended) continue;
-      fold_sources(f.id, *f.sources);
+      fold_sources(f.id, f.sources);
       stack.pop_back();
     }
-    return memo_.at(id);
+    return store_.view(id);
   }
 
-  const SortedClause& build_original(ClauseId id) {
-    SortedClause canon = canonicalize(formula_->clause(id));
+  ClauseView build_original(ClauseId id) {
+    const SortedClause canon = canonicalize(formula_->clause(id));
     if (is_tautology(canon)) {
       throw CheckFailure("original clause " + std::to_string(id) +
                          " is tautological and cannot be a resolution source");
     }
-    const auto [it, inserted] = memo_.emplace(id, std::move(canon));
-    if (inserted) {
-      mem_.add(util::clause_footprint_bytes(it->second.size()));
-    }
-    return it->second;
-  }
-
-  const std::vector<ClauseId>& sources_of(ClauseId id) {
-    const auto it = derivations_.find(id);
-    if (it == derivations_.end()) {
-      throw CheckFailure("clause " + std::to_string(id) +
-                         " is referenced but never derived in the trace");
-    }
-    return it->second;
+    store_.put(id, canon);
+    return store_.view(id);
   }
 
   /// Replays one derivation: left-fold resolution over the sources, which
-  /// must all be memoized by now.
-  void fold_sources(ClauseId id, const std::vector<ClauseId>& sources) {
-    chain_.start(memo_.at(sources[0]));
+  /// must all be stored by now.
+  void fold_sources(ClauseId id, std::span<const std::uint32_t> sources) {
+    chain_.start(store_.view(sources[0]));
     for (std::size_t i = 1; i < sources.size(); ++i) {
-      const ResolveResult r = chain_.step(memo_.at(sources[i]));
+      const ResolveResult r = chain_.step(store_.view(sources[i]));
       ++stats_.resolutions;
       if (r.status != ResolveStatus::Ok) {
         throw CheckFailure(
@@ -202,10 +140,11 @@ class DepthFirstChecker {
                  : "more than one clashing variable"));
       }
     }
-    SortedClause derived = chain_.take();
+    // Sort the resolver's buffer in place and copy straight into the
+    // arena — no per-derivation vector allocation.
+    const std::span<Lit> derived = chain_.lits_mutable();
     std::sort(derived.begin(), derived.end());
-    mem_.add(util::clause_footprint_bytes(derived.size()));
-    memo_.emplace(id, std::move(derived));
+    store_.put(id, derived);
     ++stats_.clauses_built;
   }
 
@@ -213,8 +152,8 @@ class DepthFirstChecker {
   trace::TraceReader* reader_;
   Level0Table level0_;
   std::optional<ClauseId> final_id_;
-  std::unordered_map<ClauseId, std::vector<ClauseId>> derivations_;
-  std::unordered_map<ClauseId, SortedClause> memo_;
+  DerivationIndex derivations_;
+  ClauseStore store_;
   ChainResolver chain_;
   util::MemTracker mem_;
   CheckStats stats_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/checker/resolution.hpp"
+#include "src/util/arena.hpp"
 
 namespace satproof::checker {
 
@@ -31,9 +32,12 @@ class DrupEngine {
 
   void add_clause(const SortedClause& lits) {
     const std::uint32_t index = static_cast<std::uint32_t>(clauses_.size());
-    clauses_.push_back({lits, true});
+    // Clauses live in the arena; deleted clauses release their block, so a
+    // proof with interleaved additions and deletions recycles space.
+    const util::ClauseArena::Ref ref = arena_.put(lits);
+    clauses_.push_back({ref, true});
     by_hash_.emplace(clause_hash(lits), index);
-    auto& stored = clauses_.back().lits;
+    const std::span<Lit> stored = arena_.mutable_view(ref);
     if (stored.empty()) {
       has_empty_ = true;
       return;
@@ -69,8 +73,11 @@ class DrupEngine {
     for (auto it = lo; it != hi; ++it) {
       Clause& c = clauses_[it->second];
       // The engine reorders literals while propagating; compare as sets.
-      if (c.live && canonicalize(c.lits) == lits) {
+      if (c.live && canonicalize(arena_.view(c.ref)) == lits) {
         c.live = false;
+        // Dead clauses are never read again (every access is guarded by
+        // `live`), so the block can back a future addition.
+        arena_.release(c.ref);
         by_hash_.erase(it);
         // Top-level implications may have depended on this clause.
         prefix_dirty_ = true;
@@ -103,7 +110,7 @@ class DrupEngine {
 
  private:
   struct Clause {
-    SortedClause lits;
+    util::ClauseArena::Ref ref;
     bool live;
   };
 
@@ -124,7 +131,7 @@ class DrupEngine {
 
   /// Extends the persistent prefix with the effects of a new clause.
   void settle_clause(std::uint32_t index) {
-    const auto& lits = clauses_[index].lits;
+    const std::span<const Lit> lits = arena_.view(clauses_[index].ref);
     if (lits.empty()) return;
     // Unit under the prefix?
     Lit unassigned = Lit::invalid();
@@ -156,7 +163,7 @@ class DrupEngine {
     has_conflict_ = false;
     bool conflict = false;
     for (const std::uint32_t ui : units_) {
-      if (clauses_[ui].live && !enqueue(clauses_[ui].lits[0])) {
+      if (clauses_[ui].live && !enqueue(arena_.view(clauses_[ui].ref)[0])) {
         conflict = true;
         break;
       }
@@ -181,7 +188,7 @@ class DrupEngine {
           ++i;  // drop the stale watcher
           continue;
         }
-        auto& c = entry.lits;
+        const std::span<Lit> c = arena_.mutable_view(entry.ref);
         const Lit false_lit = ~p;
         if (c[0] == false_lit) std::swap(c[0], c[1]);
         ++i;
@@ -213,6 +220,7 @@ class DrupEngine {
 
   std::vector<LBool> assign_;
   std::vector<std::vector<std::uint32_t>> watches_;
+  util::ClauseArena arena_;
   std::vector<Clause> clauses_;
   std::vector<std::uint32_t> units_;
   std::unordered_multimap<std::size_t, std::uint32_t> by_hash_;

@@ -1,8 +1,8 @@
 #include "src/checker/hybrid.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
-#include <unordered_map>
 
 namespace satproof::checker {
 
@@ -31,7 +31,7 @@ class HybridChecker {
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
       replay_reachable();
-      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+      const ClauseFetcher fetch = [this](ClauseId id) {
         return fetch_clause(id);
       };
       SortedClause remaining =
@@ -48,7 +48,13 @@ class HybridChecker {
       result.ok = false;
       result.error = std::string("trace error: ") + e.what();
     }
-    stats_.peak_mem_bytes = mem_.peak_bytes();
+    // The DAG structure/counts footprint only grows and the clause window
+    // lives entirely in the arena, so the two peaks compose additively.
+    const util::ClauseArena& arena = store_.arena();
+    stats_.peak_mem_bytes = mem_.peak_bytes() + arena.peak_bytes();
+    stats_.arena_allocated_bytes = arena.allocated_bytes();
+    stats_.arena_recycled_bytes = arena.recycled_bytes();
+    stats_.arena_peak_bytes = arena.peak_bytes();
     result.stats = stats_;
     return result;
   }
@@ -102,11 +108,22 @@ class HybridChecker {
                   " that does not precede it");
             }
           }
+          // Sources precede rec.id, so bounding the ID makes the 32-bit
+          // narrowing below lossless (same policy as DerivationIndex).
+          if (rec.id > std::numeric_limits<std::uint32_t>::max()) {
+            throw CheckFailure("trace too large: clause IDs exceed 2^32");
+          }
+          if (src_pool_.size() + rec.sources.size() >
+              std::numeric_limits<std::uint32_t>::max()) {
+            throw CheckFailure(
+                "trace too large: derivation source pool exceeds 2^32");
+          }
           last_id = rec.id;
           ids_.push_back(rec.id);
-          src_offset_.push_back(src_pool_.size());
-          src_pool_.insert(src_pool_.end(), rec.sources.begin(),
-                           rec.sources.end());
+          src_offset_.push_back(static_cast<std::uint32_t>(src_pool_.size()));
+          for (const ClauseId s : rec.sources) {
+            src_pool_.push_back(static_cast<std::uint32_t>(s));
+          }
           ++stats_.total_derivations;
           break;
         }
@@ -129,13 +146,14 @@ class HybridChecker {
       }
     }
     if (!ended) throw CheckFailure("trace truncated: missing end record");
-    src_offset_.push_back(src_pool_.size());
+    src_offset_.push_back(static_cast<std::uint32_t>(src_pool_.size()));
     mem_.add(ids_.size() * sizeof(ClauseId) +
-             src_offset_.size() * sizeof(std::size_t) +
-             src_pool_.size() * sizeof(ClauseId));
+             src_offset_.size() * sizeof(std::uint32_t) +
+             src_pool_.size() * sizeof(std::uint32_t));
   }
 
-  [[nodiscard]] std::span<const ClauseId> sources_of(std::size_t index) const {
+  [[nodiscard]] std::span<const std::uint32_t> sources_of(
+      std::size_t index) const {
     return {src_pool_.data() + src_offset_[index],
             src_offset_[index + 1] - src_offset_[index]};
   }
@@ -223,15 +241,14 @@ class HybridChecker {
         if (counts_->decrement(ordinal(s)) == 0) release(s);
       }
       if (counts_->get(ordinal(ids_[i])) > 0) {
-        SortedClause derived = chain_.take();
+        const std::span<Lit> derived = chain_.lits_mutable();
         std::sort(derived.begin(), derived.end());
-        mem_.add(util::clause_footprint_bytes(derived.size()));
-        live_.emplace(ids_[i], std::move(derived));
+        store_.put(ids_[i], derived);
       }
     }
   }
 
-  const SortedClause& fetch_clause(ClauseId id) {
+  ClauseView fetch_clause(ClauseId id) {
     if (id < num_original()) {
       scratch_ = canonicalize(formula_->clause(id));
       if (is_tautology(scratch_)) {
@@ -241,21 +258,17 @@ class HybridChecker {
       }
       return scratch_;
     }
-    const auto it = live_.find(id);
-    if (it == live_.end()) {
+    if (!store_.contains(id)) {
       throw CheckFailure(
           "clause " + std::to_string(id) +
           " is not available: it was never derived, or its use count was "
           "exhausted earlier than the trace implies");
     }
-    return it->second;
+    return store_.view(id);
   }
 
   void release(ClauseId id) {
-    const auto it = live_.find(id);
-    if (it == live_.end()) return;
-    mem_.remove(util::clause_footprint_bytes(it->second.size()));
-    live_.erase(it);
+    if (store_.contains(id)) store_.release(id);
   }
 
   const Formula* formula_;
@@ -264,13 +277,15 @@ class HybridChecker {
   std::unique_ptr<UseCountStore> counts_;
   std::optional<ClauseId> final_id_;
 
-  // DAG structure (pass 1).
+  // DAG structure (pass 1). Source IDs and offsets are narrowed to 32
+  // bits (IDs are bounded at scan time, and the pool is capped at 2^32
+  // entries): the CSR is most of this checker's resident footprint.
   std::vector<ClauseId> ids_;
-  std::vector<std::size_t> src_offset_;
-  std::vector<ClauseId> src_pool_;
+  std::vector<std::uint32_t> src_offset_;
+  std::vector<std::uint32_t> src_pool_;
   std::vector<bool> reachable_;
 
-  std::unordered_map<ClauseId, SortedClause> live_;
+  ClauseStore store_;
   SortedClause scratch_;
   ChainResolver chain_;
   util::MemTracker mem_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
 #include <optional>
 #include <span>
 #include <thread>
@@ -16,16 +15,13 @@ namespace satproof::checker {
 
 namespace {
 
-/// Estimated resident size of one loaded derivation record (kept identical
-/// to the depth-first checker so the two report comparable peak memory).
-std::size_t derivation_record_bytes(std::size_t num_sources) {
-  return num_sources * sizeof(ClauseId) + 48;
-}
-
 class ParallelChecker {
  public:
   ParallelChecker(const Formula& f, trace::TraceReader& reader, unsigned jobs)
-      : formula_(&f), reader_(&reader), level0_(reader.num_vars()) {
+      : formula_(&f),
+        reader_(&reader),
+        level0_(reader.num_vars()),
+        derivations_(reader.num_original()) {
     jobs_ = jobs != 0 ? jobs : std::thread::hardware_concurrency();
     if (jobs_ == 0) jobs_ = 1;
   }
@@ -34,17 +30,21 @@ class ParallelChecker {
     CheckResult result;
     try {
       check_header(*formula_, reader_->num_vars(), reader_->num_original());
-      load_trace();
+      final_id_ =
+          load_full_trace(*reader_, derivations_, level0_, mem_, stats_);
       if (!final_id_.has_value()) {
         throw CheckFailure(
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
       // Slot table over the dense ID space [0, max derived ID]. C++20
-      // value-initializes the atomics to nullptr.
-      slots_ = std::vector<std::atomic<const SortedClause*>>(
-          std::max<ClauseId>(num_original(), max_derived_id_ + 1));
-      const ClauseFetcher fetch = [this](ClauseId id) -> const SortedClause& {
+      // value-initializes the atomics to nullptr. Each slot holds the
+      // arena block pointer of the published clause (header + literals).
+      slots_ = std::vector<std::atomic<const Lit*>>(
+          std::max<ClauseId>(num_original(), derivations_.num_records() != 0
+                                                 ? derivations_.max_id() + 1
+                                                 : 0));
+      const ClauseFetcher fetch = [this](ClauseId id) {
         return ensure_built(id);
       };
       SortedClause remaining =
@@ -61,7 +61,17 @@ class ParallelChecker {
       result.ok = false;
       result.error = std::string("trace error: ") + e.what();
     }
-    stats_.peak_mem_bytes = mem_.peak_bytes();
+    // Peak = trace structure (only grows) + the sum of the shard arenas'
+    // high-water marks. The same clauses are built regardless of the job
+    // count, so the sum — and every arena counter — is deterministic.
+    std::size_t arena_peak = 0;
+    for (const util::ClauseArena& shard : arenas_) {
+      arena_peak += shard.peak_bytes();
+      stats_.arena_allocated_bytes += shard.allocated_bytes();
+      stats_.arena_recycled_bytes += shard.recycled_bytes();
+    }
+    stats_.arena_peak_bytes = arena_peak;
+    stats_.peak_mem_bytes = mem_.peak_bytes() + arena_peak;
     stats_.core_original_clauses = originals_built_;
     result.stats = stats_;
     if (result.ok && options.collect_core) {
@@ -80,86 +90,21 @@ class ParallelChecker {
     return reader_->num_original();
   }
 
-  void load_trace() {
-    reader_->rewind();
-    trace::Record rec;
-    bool ended = false;
-    while (!ended && reader_->next(rec)) {
-      switch (rec.kind) {
-        case trace::RecordKind::Derivation: {
-          if (rec.id < num_original()) {
-            throw CheckFailure("derivation " + std::to_string(rec.id) +
-                               " reuses an original clause ID");
-          }
-          if (rec.sources.size() < 2) {
-            throw CheckFailure("derivation " + std::to_string(rec.id) +
-                               " has fewer than two resolve sources");
-          }
-          for (const ClauseId s : rec.sources) {
-            if (s >= rec.id) {
-              throw CheckFailure(
-                  "derivation " + std::to_string(rec.id) +
-                  " references source " + std::to_string(s) +
-                  " that does not precede it; derivations must be acyclic");
-            }
-          }
-          const auto [it, inserted] =
-              derivations_.emplace(rec.id, std::move(rec.sources));
-          if (!inserted) {
-            throw CheckFailure("clause " + std::to_string(rec.id) +
-                               " is derived twice");
-          }
-          max_derived_id_ = std::max(max_derived_id_, rec.id);
-          mem_.add(derivation_record_bytes(it->second.size()));
-          ++stats_.total_derivations;
-          break;
-        }
-        case trace::RecordKind::FinalConflict:
-          if (final_id_.has_value()) {
-            throw CheckFailure("trace has more than one final conflict record");
-          }
-          final_id_ = rec.id;
-          break;
-        case trace::RecordKind::Level0:
-          level0_.add(rec.var, rec.value, rec.antecedent);
-          mem_.add(16);
-          break;
-        case trace::RecordKind::Assumption:
-          level0_.add_assumption(rec.var, rec.value);
-          mem_.add(16);
-          break;
-        case trace::RecordKind::End:
-          ended = true;
-          break;
-      }
-    }
-    if (!ended) {
-      throw CheckFailure("trace truncated: missing end record");
-    }
-  }
-
-  [[nodiscard]] const SortedClause* published(ClauseId id) const {
+  [[nodiscard]] const Lit* published(ClauseId id) const {
     if (id >= slots_.size()) return nullptr;
     return slots_[id].load(std::memory_order_acquire);
-  }
-
-  const std::vector<ClauseId>& sources_of(ClauseId id) const {
-    const auto it = derivations_.find(id);
-    if (it == derivations_.end()) {
-      throw CheckFailure("clause " + std::to_string(id) +
-                         " is referenced but never derived in the trace");
-    }
-    return it->second;
   }
 
   /// Fetcher for derive_final_clause: returns the published clause,
   /// building its reachable subgraph in parallel wavefronts on a miss.
   /// Builds exactly the clause closures the depth-first checker builds, so
   /// every derived artifact (core, stats) matches it byte for byte.
-  const SortedClause& ensure_built(ClauseId id) {
-    if (const SortedClause* c = published(id)) return *c;
+  ClauseView ensure_built(ClauseId id) {
+    if (const Lit* block = published(id)) {
+      return util::ClauseArena::view_of(block);
+    }
     build_closure(id);
-    return *published(id);  // build_closure published it or threw
+    return util::ClauseArena::view_of(published(id));  // published or threw
   }
 
   /// Builds every not-yet-published clause reachable from `root` through
@@ -176,7 +121,7 @@ class ParallelChecker {
       if (published(id) != nullptr) continue;
       collected.push_back(id);
       if (id < num_original()) continue;
-      for (const ClauseId s : sources_of(id)) {
+      for (const ClauseId s : derivations_.sources_of(id)) {
         if (published(s) == nullptr && seen.insert(s).second) {
           todo.push_back(s);
         }
@@ -192,7 +137,7 @@ class ParallelChecker {
     for (const ClauseId id : collected) {
       std::uint32_t lv = 0;
       if (id >= num_original()) {
-        for (const ClauseId s : sources_of(id)) {
+        for (const ClauseId s : derivations_.sources_of(id)) {
           const auto it = level.find(s);
           if (it != level.end()) lv = std::max(lv, it->second + 1);
           // Not in the map: the source is already published and imposes no
@@ -206,17 +151,17 @@ class ParallelChecker {
     for (const std::vector<ClauseId>& wave : waves) run_wave(wave);
   }
 
-  /// One worker's slice of a wavefront, plus everything it produced. The
-  /// arena keeps clause addresses stable (deque) so they can be published
-  /// before the barrier; stats and bytes are merged into the shared
-  /// trackers only on the main thread afterwards.
+  /// One worker's slice of a wavefront. The worker writes clauses into its
+  /// per-chunk-index arena shard; blocks are published (release) before the
+  /// barrier, and the shard outlives the wave so the pointers stay valid.
+  /// Stats are merged into the shared trackers only on the main thread
+  /// afterwards.
   struct Chunk {
     std::span<const ClauseId> ids;
-    std::deque<SortedClause> arena;
+    util::ClauseArena* shard = nullptr;
     std::uint64_t resolutions = 0;
     std::uint64_t derived_built = 0;
     std::uint64_t originals_built = 0;
-    std::size_t bytes = 0;
     std::optional<std::string> error;
   };
 
@@ -224,6 +169,9 @@ class ParallelChecker {
     if (wave.empty()) return;
     const std::size_t num_chunks =
         std::min<std::size_t>(jobs_, wave.size());
+    // Chunk i always writes into shard i; waves are barrier-separated, so
+    // a shard is touched by at most one thread at a time.
+    while (arenas_.size() < num_chunks) arenas_.emplace_back();
     std::vector<Chunk> chunks(num_chunks);
     const std::size_t base = wave.size() / num_chunks;
     const std::size_t extra = wave.size() % num_chunks;
@@ -231,6 +179,7 @@ class ParallelChecker {
     for (std::size_t i = 0; i < num_chunks; ++i) {
       const std::size_t len = base + (i < extra ? 1 : 0);
       chunks[i].ids = std::span<const ClauseId>(wave).subspan(begin, len);
+      chunks[i].shard = &arenas_[i];
       begin += len;
     }
     if (num_chunks == 1) {
@@ -252,8 +201,6 @@ class ParallelChecker {
       stats_.resolutions += c.resolutions;
       stats_.clauses_built += c.derived_built;
       originals_built_ += c.originals_built;
-      mem_.add(c.bytes);
-      if (!c.arena.empty()) arenas_.push_back(std::move(c.arena));
     }
     if (error) throw CheckFailure(*error);
   }
@@ -277,22 +224,21 @@ class ParallelChecker {
   }
 
   void build_original(ClauseId id, Chunk& chunk) {
-    SortedClause canon = canonicalize(formula_->clause(id));
+    const SortedClause canon = canonicalize(formula_->clause(id));
     if (is_tautology(canon)) {
       throw CheckFailure("original clause " + std::to_string(id) +
                          " is tautological and cannot be a resolution source");
     }
-    chunk.bytes += util::clause_footprint_bytes(canon.size());
     ++chunk.originals_built;
-    chunk.arena.push_back(std::move(canon));
-    slots_[id].store(&chunk.arena.back(), std::memory_order_release);
+    const util::ClauseArena::Ref ref = chunk.shard->put(canon);
+    slots_[id].store(chunk.shard->block(ref), std::memory_order_release);
   }
 
   void build_derived(ClauseId id, Chunk& chunk, ChainResolver& chain) {
-    const std::vector<ClauseId>& sources = derivations_.find(id)->second;
-    chain.start(*source_clause(sources[0]));
+    const std::span<const std::uint32_t> sources = derivations_.sources_of(id);
+    chain.start(source_clause(sources[0]));
     for (std::size_t i = 1; i < sources.size(); ++i) {
-      const ResolveResult r = chain.step(*source_clause(sources[i]));
+      const ResolveResult r = chain.step(source_clause(sources[i]));
       ++chunk.resolutions;
       if (r.status != ResolveStatus::Ok) {
         throw CheckFailure(
@@ -304,25 +250,24 @@ class ParallelChecker {
                  : "more than one clashing variable"));
       }
     }
-    SortedClause derived = chain.take();
+    const std::span<Lit> derived = chain.lits_mutable();
     std::sort(derived.begin(), derived.end());
-    chunk.bytes += util::clause_footprint_bytes(derived.size());
     ++chunk.derived_built;
-    chunk.arena.push_back(std::move(derived));
-    slots_[id].store(&chunk.arena.back(), std::memory_order_release);
+    const util::ClauseArena::Ref ref = chunk.shard->put(derived);
+    slots_[id].store(chunk.shard->block(ref), std::memory_order_release);
   }
 
   /// A source clause during wavefront replay. Always published: the
   /// wavefront leveling puts every source in a strictly earlier wave (or an
   /// earlier closure), and the barrier between waves orders the stores.
-  [[nodiscard]] const SortedClause* source_clause(ClauseId id) const {
-    const SortedClause* c = published(id);
-    if (c == nullptr) {
+  [[nodiscard]] ClauseView source_clause(ClauseId id) const {
+    const Lit* block = published(id);
+    if (block == nullptr) {
       throw CheckFailure("internal error: source clause " +
                          std::to_string(id) +
                          " was scheduled after its consumer");
     }
-    return c;
+    return util::ClauseArena::view_of(block);
   }
 
   util::ThreadPool& pool() {
@@ -335,12 +280,12 @@ class ParallelChecker {
   unsigned jobs_ = 1;
   Level0Table level0_;
   std::optional<ClauseId> final_id_;
-  ClauseId max_derived_id_ = 0;
-  std::unordered_map<ClauseId, std::vector<ClauseId>> derivations_;
-  std::vector<std::atomic<const SortedClause*>> slots_;
-  /// Worker arenas, adopted at each wavefront barrier. Deques preserve
-  /// element addresses under move, so published pointers stay valid.
-  std::vector<std::deque<SortedClause>> arenas_;
+  DerivationIndex derivations_;
+  std::vector<std::atomic<const Lit*>> slots_;
+  /// Per-chunk-index arena shards; they persist across waves so published
+  /// block pointers stay valid for the whole run (arena chunks are never
+  /// reallocated).
+  std::vector<util::ClauseArena> arenas_;
   std::optional<util::ThreadPool> pool_;
   std::uint64_t originals_built_ = 0;
   util::MemTracker mem_;

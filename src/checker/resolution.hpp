@@ -81,6 +81,16 @@ class ChainResolver {
     return {lits_.data(), lits_.size()};
   }
 
+  /// Mutable access to the running clause's literals, for callers that
+  /// sort in place and then copy the result elsewhere (e.g. into a clause
+  /// arena) without the allocation take() implies. Reordering is safe:
+  /// start() rebuilds the position index from scratch. The span is
+  /// invalidated — and its contents are unspecified — after the next
+  /// start()/step()/take().
+  [[nodiscard]] std::span<Lit> lits_mutable() {
+    return {lits_.data(), lits_.size()};
+  }
+
   /// Moves the running clause out (unsorted, duplicate-free).
   [[nodiscard]] std::vector<Lit> take();
 

@@ -1,6 +1,5 @@
 #include "src/trace/binary.hpp"
 
-#include <istream>
 #include <ostream>
 #include <stdexcept>
 
@@ -19,14 +18,10 @@ constexpr std::uint8_t kTagLevel0 = 0x03;
 constexpr std::uint8_t kTagEnd = 0x04;
 constexpr std::uint8_t kTagAssumption = 0x05;
 
+constexpr int kMaxVarintBytes = 10;
+
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("binary trace: " + what);
-}
-
-std::uint64_t must_read_varint(std::istream& in, const char* what) {
-  const auto v = util::read_varint(in);
-  if (!v) fail(std::string("truncated while reading ") + what);
-  return *v;
 }
 
 }  // namespace
@@ -87,36 +82,83 @@ void BinaryTraceWriter::flush_buf() {
               static_cast<std::streamsize>(buf_.size()));
 }
 
-BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(&in) {
+BinaryTraceReader::BinaryTraceReader(std::istream& in)
+    : BinaryTraceReader(std::make_unique<util::StreamByteSource>(in)) {}
+
+BinaryTraceReader::BinaryTraceReader(std::unique_ptr<util::ByteSource> source)
+    : source_(std::move(source)) {
   char magic[4] = {};
-  in_->read(magic, sizeof magic);
-  if (!*in_ || magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+  for (char& c : magic) {
+    const int b = get();
+    if (b < 0) fail("bad magic (not a satproof binary trace)");
+    c = static_cast<char>(b);
+  }
+  if (magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
       magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
     fail("bad magic (not a satproof binary trace)");
   }
-  const int version = in_->get();
+  const int version = get();
   if (version != kVersion) fail("unsupported version");
-  num_vars_ = static_cast<Var>(must_read_varint(*in_, "num_vars"));
-  num_original_ = must_read_varint(*in_, "num_original");
-  body_start_ = in_->tellg();
+  num_vars_ = static_cast<Var>(read_u64("num_vars"));
+  num_original_ = read_u64("num_original");
+  body_start_ = win_pos_ + static_cast<std::uint64_t>(p_ - win_begin_);
+}
+
+bool BinaryTraceReader::refill() {
+  const std::uint64_t pos =
+      win_pos_ + static_cast<std::uint64_t>(p_ - win_begin_);
+  const auto w = source_->window(pos);
+  win_pos_ = pos;
+  win_begin_ = p_ = w.begin;
+  end_ = w.end;
+  return p_ != end_;
+}
+
+int BinaryTraceReader::get() {
+  if (p_ == end_ && !refill()) return -1;
+  return *p_++;
+}
+
+std::uint64_t BinaryTraceReader::read_u64(const char* what) {
+  // Fast path: the whole (≤ 10 byte) varint is inside the current window,
+  // so decode with raw pointer bumps. For mmap'd or in-memory traces this
+  // is every varint in the file.
+  if (end_ - p_ >= kMaxVarintBytes) return util::decode_varint(p_, end_);
+
+  // Window-boundary slow path: gather the encoding byte by byte (refilling
+  // as needed), then decode the gathered bytes with the same strict
+  // decoder so both paths accept exactly the same encodings.
+  std::uint8_t buf[kMaxVarintBytes];
+  int n = 0;
+  while (n < kMaxVarintBytes) {
+    const int c = get();
+    if (c < 0) {
+      if (n == 0) fail(std::string("truncated while reading ") + what);
+      break;  // mid-varint EOF: decode below reports the truncation
+    }
+    buf[n++] = static_cast<std::uint8_t>(c);
+    if ((c & 0x80) == 0) break;
+  }
+  const std::uint8_t* q = buf;
+  return util::decode_varint(q, buf + n);
 }
 
 bool BinaryTraceReader::next(Record& out) {
   if (done_) return false;
-  const int tag = in_->get();
-  if (tag == std::char_traits<char>::eof()) {
+  const int tag = get();
+  if (tag < 0) {
     fail("trace truncated: no end record");
   }
   switch (static_cast<std::uint8_t>(tag)) {
     case kTagDerivation: {
       out.kind = RecordKind::Derivation;
-      out.id = must_read_varint(*in_, "derivation id");
-      const std::uint64_t k = must_read_varint(*in_, "source count");
+      out.id = read_u64("derivation id");
+      const std::uint64_t k = read_u64("source count");
       if (k < 2) fail("derivation needs at least two sources");
       out.sources.clear();
       out.sources.reserve(k);
       for (std::uint64_t i = 0; i < k; ++i) {
-        const std::uint64_t delta = must_read_varint(*in_, "source delta");
+        const std::uint64_t delta = read_u64("source delta");
         if (delta == 0 || delta > out.id) fail("source delta out of range");
         out.sources.push_back(out.id - delta);
       }
@@ -124,22 +166,21 @@ bool BinaryTraceReader::next(Record& out) {
     }
     case kTagFinalConflict:
       out.kind = RecordKind::FinalConflict;
-      out.id = must_read_varint(*in_, "final conflict id");
+      out.id = read_u64("final conflict id");
       out.sources.clear();
       return true;
     case kTagLevel0: {
       out.kind = RecordKind::Level0;
-      const std::uint64_t packed = must_read_varint(*in_, "level-0 literal");
+      const std::uint64_t packed = read_u64("level-0 literal");
       out.var = static_cast<Var>(packed >> 1);
       out.value = (packed & 1) != 0;
-      out.antecedent = must_read_varint(*in_, "level-0 antecedent");
+      out.antecedent = read_u64("level-0 antecedent");
       out.sources.clear();
       return true;
     }
     case kTagAssumption: {
       out.kind = RecordKind::Assumption;
-      const std::uint64_t packed =
-          must_read_varint(*in_, "assumption literal");
+      const std::uint64_t packed = read_u64("assumption literal");
       out.var = static_cast<Var>(packed >> 1);
       out.value = (packed & 1) != 0;
       out.antecedent = kInvalidClauseId;
@@ -157,10 +198,20 @@ bool BinaryTraceReader::next(Record& out) {
 }
 
 void BinaryTraceReader::rewind() {
-  in_->clear();
-  in_->seekg(body_start_);
-  if (!*in_) fail("rewind failed");
+  try {
+    const auto w = source_->window(body_start_);
+    win_pos_ = body_start_;
+    win_begin_ = p_ = w.begin;
+    end_ = w.end;
+  } catch (const std::exception&) {
+    fail("rewind failed");
+  }
   done_ = false;
+}
+
+std::unique_ptr<BinaryTraceReader> open_binary_trace_file(
+    const std::string& path) {
+  return std::make_unique<BinaryTraceReader>(util::ByteSource::map_file(path));
 }
 
 }  // namespace satproof::trace

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
+#include <string>
 
 #include "src/trace/events.hpp"
+#include "src/util/byte_source.hpp"
 
 namespace satproof::trace {
 
@@ -46,13 +49,24 @@ class BinaryTraceWriter final : public TraceWriter {
   std::vector<std::uint8_t> buf_;  ///< per-record encoding buffer (reused)
 };
 
-/// Streaming reader for the binary trace format; rewind() re-seeks the
-/// stream to the first record.
+/// Streaming reader for the binary trace format.
+///
+/// Decodes from a util::ByteSource: an mmap'd or in-memory trace is one
+/// contiguous window, so the hot loop is pure pointer bumps through
+/// util::decode_varint — no stream sentry, no per-byte virtual call. The
+/// std::istream constructor keeps pipes and stringstreams working by
+/// wrapping them in a buffered StreamByteSource.
+///
+/// rewind() repositions to the first record; on a stream source this
+/// seeks the underlying stream, so pipes cannot rewind.
 class BinaryTraceReader final : public TraceReader {
  public:
   /// Reads from `in` (binary mode, seekable for rewind()). Validates the
   /// magic and header eagerly; throws std::runtime_error on mismatch.
   explicit BinaryTraceReader(std::istream& in);
+
+  /// Reads from `source` (zero-copy when the source is a single window).
+  explicit BinaryTraceReader(std::unique_ptr<util::ByteSource> source);
 
   [[nodiscard]] Var num_vars() const override { return num_vars_; }
   [[nodiscard]] ClauseId num_original() const override {
@@ -62,11 +76,29 @@ class BinaryTraceReader final : public TraceReader {
   void rewind() override;
 
  private:
-  std::istream* in_;
-  std::streampos body_start_{};
+  /// Fetches the next window; returns false at end of data.
+  bool refill();
+
+  /// Next byte, or -1 at end of data.
+  int get();
+
+  /// Reads one varint; `what` labels truncation-at-record-boundary errors.
+  std::uint64_t read_u64(const char* what);
+
+  std::unique_ptr<util::ByteSource> source_;
+  const std::uint8_t* p_ = nullptr;          ///< decode cursor
+  const std::uint8_t* end_ = nullptr;        ///< current window end
+  const std::uint8_t* win_begin_ = nullptr;  ///< current window begin
+  std::uint64_t win_pos_ = 0;    ///< source position of win_begin_
+  std::uint64_t body_start_ = 0; ///< source position of the first record
   Var num_vars_ = 0;
   ClauseId num_original_ = 0;
   bool done_ = false;
 };
+
+/// Opens `path` as a memory-mapped binary trace — the fast path for
+/// on-disk traces. Throws std::runtime_error on open or header failure.
+std::unique_ptr<BinaryTraceReader> open_binary_trace_file(
+    const std::string& path);
 
 }  // namespace satproof::trace

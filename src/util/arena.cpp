@@ -1,0 +1,79 @@
+#include "src/util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace satproof::util {
+
+ClauseArena::Ref ClauseArena::bump(std::uint32_t slots) {
+  if (slots > kMaxChunkSlots) {
+    // A clause longer than a whole chunk gets a dedicated exact-size
+    // chunk. Refs can only address the first 2^16 slots of a chunk, but
+    // the block *starts* at offset 0, and block() only needs the start.
+    if (chunks_.size() >= kMaxChunks) {
+      throw std::runtime_error("clause arena: chunk table exhausted");
+    }
+    Chunk chunk;
+    chunk.data = std::make_unique<Lit[]>(slots);
+    chunk.capacity = slots;
+    chunk.used = slots;
+    chunks_.push_back(std::move(chunk));
+    return static_cast<Ref>((chunks_.size() - 1) << 16);
+  }
+
+  if (chunks_.empty() || chunks_.back().used + slots > chunks_.back().capacity) {
+    if (chunks_.size() >= kMaxChunks) {
+      throw std::runtime_error("clause arena: chunk table exhausted");
+    }
+    // Geometric growth: small arenas (per-wave parallel shards, tiny
+    // traces) stay small; big replays converge to full 2^16-slot chunks.
+    const std::uint32_t capacity = std::max(next_chunk_slots_, slots);
+    next_chunk_slots_ = std::min(next_chunk_slots_ * 2, kMaxChunkSlots);
+    Chunk chunk;
+    chunk.data = std::make_unique<Lit[]>(capacity);
+    chunk.capacity = capacity;
+    chunks_.push_back(std::move(chunk));
+  }
+
+  Chunk& chunk = chunks_.back();
+  const auto offset = chunk.used;
+  chunk.used += slots;
+  return static_cast<Ref>(((chunks_.size() - 1) << 16) | offset);
+}
+
+ClauseArena::Ref ClauseArena::put(std::span<const Lit> lits) {
+  const auto len = static_cast<std::uint32_t>(lits.size());
+  const std::size_t bytes = block_bytes(len);
+
+  Ref ref = kNullRef;
+  if (len < free_lists_.size() && !free_lists_[len].empty()) {
+    ref = free_lists_[len].back();
+    free_lists_[len].pop_back();
+    recycled_ += bytes;
+  } else {
+    ref = bump(len + 1);
+  }
+
+  Lit* dst = const_cast<Lit*>(block(ref));
+  dst[0] = Lit::from_code(len);
+  if (len > 0) {
+    std::memcpy(dst + 1, lits.data(), len * sizeof(Lit));
+  }
+  allocated_ += bytes;
+  tracker_.add(bytes);
+  ++live_clauses_;
+  return ref;
+}
+
+void ClauseArena::release(Ref ref) {
+  const std::uint32_t len = block(ref)[0].code();
+  if (len >= free_lists_.size()) {
+    free_lists_.resize(len + 1);
+  }
+  free_lists_[len].push_back(ref);
+  tracker_.remove(block_bytes(len));
+  --live_clauses_;
+}
+
+}  // namespace satproof::util

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/cnf/types.hpp"
+#include "src/util/mem_tracker.hpp"
+
+namespace satproof::util {
+
+/// Bump-allocated clause storage shared by every checker backend.
+///
+/// Replaying a resolution trace builds and discards millions of short
+/// clauses. Storing each as its own `std::vector<Lit>` inside a hash map
+/// costs a heap allocation, a map node, and pointer-chasing on every
+/// lookup — the dominant cost of the checker hot path (cf. Cruz-Filipe et
+/// al., "Efficient Certified Resolution Proof Checking"). The arena packs
+/// clauses contiguously into large chunks as `[len | lits...]` blocks of
+/// `Lit`-sized slots, addressed by a 32-bit `Ref`, so building a clause is
+/// a pointer bump plus a memcpy and looking one up is two loads.
+///
+/// Refs encode `chunk_index << 16 | slot_offset`; a chunk holds at most
+/// 2^16 slots, and clauses longer than a chunk get a dedicated exact-size
+/// chunk at offset 0. Chunks are never reallocated or freed before the
+/// arena dies, so `const Lit*` block pointers stay stable for the arena's
+/// lifetime — the parallel checker relies on this to publish clause
+/// pointers across threads.
+///
+/// Bounded-memory (breadth-first) replay calls release(): the block goes
+/// on a per-length free list and the next put() of that length reuses it,
+/// so a steady-state clause window recycles blocks instead of
+/// round-tripping through malloc.
+class ClauseArena {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kNullRef = 0xffffffffu;
+
+  ClauseArena() = default;
+  ClauseArena(ClauseArena&&) = default;
+  ClauseArena& operator=(ClauseArena&&) = default;
+  ClauseArena(const ClauseArena&) = delete;
+  ClauseArena& operator=(const ClauseArena&) = delete;
+
+  /// Copies `lits` into the arena and returns the block's ref. Reuses a
+  /// released block of the same length when one exists.
+  Ref put(std::span<const Lit> lits);
+
+  /// Returns `ref`'s block to its per-length free list. The block's bytes
+  /// stay mapped (refs to it simply must no longer be used) and will back
+  /// a future put() of the same length.
+  void release(Ref ref);
+
+  /// Pointer to the block header: `block[0]` is the length as a Lit code,
+  /// `block[1..len]` are the literals. Stable for the arena's lifetime.
+  [[nodiscard]] const Lit* block(Ref ref) const {
+    return chunks_[ref >> 16].data.get() + (ref & 0xffffu);
+  }
+
+  /// The literals of `ref`'s clause.
+  [[nodiscard]] std::span<const Lit> view(Ref ref) const {
+    return view_of(block(ref));
+  }
+
+  /// The literals of a clause given its block pointer (as published by
+  /// the parallel checker's slot table).
+  [[nodiscard]] static std::span<const Lit> view_of(const Lit* block) {
+    return {block + 1, block[0].code()};
+  }
+
+  /// Mutable literals of `ref`'s clause, for engines that reorder literals
+  /// in place (the DRUP propagator's watch swaps). The length header must
+  /// not be altered.
+  [[nodiscard]] std::span<Lit> mutable_view(Ref ref) {
+    Lit* b = chunks_[ref >> 16].data.get() + (ref & 0xffffu);
+    return {b + 1, b[0].code()};
+  }
+
+  /// Accounted footprint of a clause of `num_lits` literals: the literal
+  /// payload plus the 4-byte length header. This is what the arena
+  /// actually stores per clause — compare `clause_footprint_bytes`'s
+  /// 32-byte per-clause overhead for heap-allocated vectors.
+  [[nodiscard]] static std::size_t block_bytes(std::size_t num_lits) {
+    return sizeof(Lit) * (num_lits + 1);
+  }
+
+  /// Cumulative bytes handed out by put(), including recycled blocks.
+  [[nodiscard]] std::size_t allocated_bytes() const { return allocated_; }
+
+  /// Cumulative bytes served from free lists instead of fresh chunk space.
+  [[nodiscard]] std::size_t recycled_bytes() const { return recycled_; }
+
+  /// Bytes in live (not released) blocks right now.
+  [[nodiscard]] std::size_t live_bytes() const {
+    return tracker_.current_bytes();
+  }
+
+  /// High-water mark of live_bytes().
+  [[nodiscard]] std::size_t peak_bytes() const {
+    return tracker_.peak_bytes();
+  }
+
+  /// Number of live (not released) clauses.
+  [[nodiscard]] std::size_t live_clauses() const { return live_clauses_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<Lit[]> data;
+    std::uint32_t capacity = 0;  ///< slots
+    std::uint32_t used = 0;      ///< slots bumped so far
+  };
+
+  static constexpr std::uint32_t kMaxChunkSlots = 1u << 16;
+  static constexpr std::uint32_t kFirstChunkSlots = 1u << 10;
+  static constexpr std::size_t kMaxChunks = 1u << 16;
+
+  /// Allocates `slots` contiguous Lit slots, returning their ref.
+  Ref bump(std::uint32_t slots);
+
+  std::vector<Chunk> chunks_;
+  std::vector<std::vector<Ref>> free_lists_;  ///< indexed by clause length
+  MemTracker tracker_;                        ///< live block bytes
+  std::size_t allocated_ = 0;
+  std::size_t recycled_ = 0;
+  std::size_t live_clauses_ = 0;
+  std::uint32_t next_chunk_slots_ = kFirstChunkSlots;
+};
+
+}  // namespace satproof::util

@@ -6,6 +6,36 @@
 
 namespace satproof::util {
 
+namespace {
+
+// A uint64 needs at most ceil(64/7) = 10 groups; the 10th group carries
+// only bit 63, so its byte must be 0x00 or 0x01 — and 0x00 would be
+// redundant zero-padding, rejected like every other non-canonical
+// terminator.
+
+[[noreturn]] void throw_truncated() {
+  throw std::runtime_error("varint: truncated encoding at end of stream");
+}
+
+[[noreturn]] void throw_overlong() {
+  throw std::runtime_error("varint: over-long encoding");
+}
+
+[[noreturn]] void throw_overflow() {
+  throw std::runtime_error("varint: value exceeds 64 bits");
+}
+
+/// Validates the terminal byte of an encoding: at shift 63 only bit 0 may
+/// be set (anything else overflows uint64), and at any shift past the
+/// first a zero terminator means the previous byte's continuation bit was
+/// pointless padding — the same value has a shorter encoding, so reject.
+void check_terminal(std::uint8_t byte, int shift) {
+  if (shift == 63 && (byte >> 1) != 0) throw_overflow();
+  if (shift > 0 && byte == 0) throw_overlong();
+}
+
+}  // namespace
+
 void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   while (value >= 0x80) {
     out.push_back(static_cast<std::uint8_t>(value) | 0x80);
@@ -30,34 +60,42 @@ std::optional<std::uint64_t> read_varint(std::istream& is) {
     const int c = is.get();
     if (c == std::char_traits<char>::eof()) {
       if (first) return std::nullopt;
-      throw std::runtime_error("varint: truncated encoding at end of stream");
+      throw_truncated();
     }
     first = false;
     const auto byte = static_cast<std::uint8_t>(c);
-    if (shift >= 63 && (byte >> (70 - shift)) != 0) {
-      throw std::runtime_error("varint: value exceeds 64 bits");
+    if ((byte & 0x80) == 0) {
+      check_terminal(byte, shift);
+      return value | static_cast<std::uint64_t>(byte) << shift;
     }
+    if (shift == 63) throw_overlong();  // continuation past the 10th byte
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) return value;
     shift += 7;
-    if (shift >= 70) throw std::runtime_error("varint: over-long encoding");
+  }
+}
+
+std::uint64_t decode_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) throw_truncated();
+    const std::uint8_t byte = *p++;
+    if ((byte & 0x80) == 0) {
+      check_terminal(byte, shift);
+      return value | static_cast<std::uint64_t>(byte) << shift;
+    }
+    if (shift == 63) throw_overlong();
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    shift += 7;
   }
 }
 
 std::uint64_t decode_varint(const std::vector<std::uint8_t>& data,
                             std::size_t& pos) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    if (pos >= data.size()) {
-      throw std::runtime_error("varint: truncated encoding in buffer");
-    }
-    const std::uint8_t byte = data[pos++];
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
-    if (shift >= 70) throw std::runtime_error("varint: over-long encoding");
-  }
+  const std::uint8_t* p = data.data() + pos;
+  const std::uint64_t value = decode_varint(p, data.data() + data.size());
+  pos = static_cast<std::size_t>(p - data.data());
+  return value;
 }
 
 std::size_t varint_size(std::uint64_t value) {

@@ -16,6 +16,14 @@ namespace satproof::util {
 /// that suggestion on top of this codec: each value is emitted as 7-bit
 /// groups, least significant first, with the high bit of every byte but the
 /// last set.
+///
+/// Decoding is strict: every value has exactly one accepted encoding. A
+/// 64-bit value occupies at most 10 bytes (the 10th may only be 0x00 or
+/// 0x01), and zero-padded forms such as 0x80 0x00 — which would decode to
+/// the same value as a shorter encoding — are rejected. Strictness matters
+/// for the checker: accepting redundant encodings would let two
+/// byte-different traces decode identically, weakening corruption
+/// detection.
 
 /// Appends the varint encoding of `value` to `out`.
 void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
@@ -24,11 +32,19 @@ void append_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
 void write_varint(std::ostream& os, std::uint64_t value);
 
 /// Reads one varint from `is`. Returns std::nullopt on EOF before the first
-/// byte; throws std::runtime_error on a truncated or over-long encoding.
+/// byte; throws std::runtime_error on a truncated, over-long, overflowing
+/// or non-canonical encoding.
 std::optional<std::uint64_t> read_varint(std::istream& is);
 
+/// Decodes one varint from `[p, end)`, advancing `p` past it. This is the
+/// zero-copy fast path used by the binary trace reader: no virtual calls,
+/// no stream state, just pointer bumps. Throws std::runtime_error on
+/// truncation (`p` hits `end` mid-value), over-long (> 10 bytes),
+/// overflowing or non-canonical encodings.
+std::uint64_t decode_varint(const std::uint8_t*& p, const std::uint8_t* end);
+
 /// Decodes one varint from `data` starting at `pos`, advancing `pos`.
-/// Throws std::runtime_error on truncation or over-long encodings.
+/// Same strictness as the pointer form.
 std::uint64_t decode_varint(const std::vector<std::uint8_t>& data,
                             std::size_t& pos);
 

@@ -102,6 +102,22 @@ TEST_F(CliTest, BinaryTraceRoundTrip) {
   EXPECT_EQ(c.exit_code, 0) << c.err;
 }
 
+TEST_F(CliTest, CheckStatsReportsArenaTraffic) {
+  gen_php(5);
+  const CliRun s = run({"solve", cnf(), "--trace", aux(), "--binary"});
+  ASSERT_EQ(s.exit_code, kExitUnsat) << s.err;
+  const CliRun c = run({"check", "--binary", "--stats", cnf(), aux()});
+  EXPECT_EQ(c.exit_code, 0) << c.err;
+  EXPECT_NE(c.out.find("stats: arena "), std::string::npos);
+  EXPECT_NE(c.out.find("bytes allocated"), std::string::npos);
+  EXPECT_NE(c.out.find("peak total"), std::string::npos);
+  // The breadth-first window recycles released blocks; its stats line must
+  // be present too (a nonzero recycled figure is exercised in unit tests).
+  const CliRun bf = run({"check", "--bf", "--binary", "--stats", cnf(), aux()});
+  EXPECT_EQ(bf.exit_code, 0) << bf.err;
+  EXPECT_NE(bf.out.find("stats: arena "), std::string::npos);
+}
+
 TEST_F(CliTest, CheckRejectsMismatchedTrace) {
   gen_php(5);
   const CliRun s = run({"solve", cnf(), "--trace", aux()});

@@ -95,6 +95,11 @@ TEST_P(DifferentialFuzz, AllBackendsAgreeOnVerdictAndCore) {
     EXPECT_EQ(par.core, df.core);
     EXPECT_EQ(par.stats.resolutions, df.stats.resolutions);
     EXPECT_EQ(par.stats.clauses_built, df.stats.clauses_built);
+
+    // The breadth-first checker's whole point is bounded memory: its
+    // streaming clause window must never exceed the depth-first checker's
+    // whole-trace-plus-memoized-clauses footprint.
+    EXPECT_LE(bf.stats.peak_mem_bytes, df.stats.peak_mem_bytes);
   }
   // The ratio sweep straddles the phase transition, so a healthy fraction
   // of every shard must actually exercise the proof path.

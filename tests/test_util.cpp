@@ -11,6 +11,8 @@
 
 #include "src/util/thread_pool.hpp"
 
+#include "src/util/arena.hpp"
+#include "src/util/byte_source.hpp"
 #include "src/util/mem_tracker.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
@@ -127,6 +129,77 @@ TEST(Varint, BufferTruncationThrows) {
   std::vector<std::uint8_t> buf{0x80};
   std::size_t pos = 0;
   EXPECT_THROW(decode_varint(buf, pos), std::runtime_error);
+}
+
+TEST(Varint, ZeroIsOneByte) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 0);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0u);
+}
+
+TEST(Varint, MaxValueIsTenBytes) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, ~std::uint64_t{0});
+  ASSERT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.back(), 0x01u);  // the 64th bit, alone in the tenth byte
+  std::size_t pos = 0;
+  EXPECT_EQ(decode_varint(buf, pos), ~std::uint64_t{0});
+}
+
+TEST(Varint, TruncationMidVarintThrows) {
+  // A valid 3-byte encoding cut after each proper prefix.
+  std::vector<std::uint8_t> full;
+  append_varint(full, 1u << 20);
+  ASSERT_EQ(full.size(), 3u);
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> buf(full.begin(), full.begin() + cut);
+    std::size_t pos = 0;
+    EXPECT_THROW(decode_varint(buf, pos), std::runtime_error);
+    std::stringstream ss;
+    ss.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+    EXPECT_THROW(read_varint(ss), std::runtime_error);
+  }
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  // 11-byte encoding of a small value: ten continuation bytes never fit.
+  const std::vector<std::uint8_t> eleven{0x81, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                         0x80, 0x80, 0x80, 0x80, 0x00};
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_varint(eleven, pos), std::runtime_error);
+}
+
+TEST(Varint, NonCanonicalZeroPaddingRejected) {
+  // 1 encoded as 0x81 0x00: decodes to the same value as 0x01, so a strict
+  // reader must reject it — one value, one encoding.
+  const std::vector<std::uint8_t> padded{0x81, 0x00};
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_varint(padded, pos), std::runtime_error);
+  std::stringstream ss;
+  ss.put(static_cast<char>(0x81));
+  ss.put(static_cast<char>(0x00));
+  EXPECT_THROW(read_varint(ss), std::runtime_error);
+}
+
+TEST(Varint, TenthByteOverflowRejected) {
+  // Ten bytes whose final byte claims bits above the 64th.
+  std::vector<std::uint8_t> buf(9, 0xff);
+  buf.push_back(0x02);
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_varint(buf, pos), std::runtime_error);
+}
+
+TEST(Varint, PointerDecodeAdvances) {
+  std::vector<std::uint8_t> buf;
+  append_varint(buf, 7);
+  append_varint(buf, 1u << 30);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  EXPECT_EQ(decode_varint(p, end), 7u);
+  EXPECT_EQ(decode_varint(p, end), 1u << 30);
+  EXPECT_EQ(p, end);
 }
 
 TEST(MemTracker, TracksCurrentAndPeak) {
@@ -270,6 +343,135 @@ TEST(ThreadPool, DestructionWithQueuedWorkDoesNotHang) {
     // pool must shut down cleanly either way.
   }
   EXPECT_LE(count.load(), 100);
+}
+
+namespace {
+std::vector<Lit> lits(std::initializer_list<int> dimacs) {
+  std::vector<Lit> out;
+  for (const int d : dimacs) out.push_back(Lit::from_dimacs(d));
+  return out;
+}
+}  // namespace
+
+TEST(ClauseArena, PutAndViewRoundTrip) {
+  ClauseArena arena;
+  const auto a = lits({1, -2, 3});
+  const auto b = lits({-4});
+  const ClauseArena::Ref ra = arena.put(a);
+  const ClauseArena::Ref rb = arena.put(b);
+  ASSERT_EQ(arena.view(ra).size(), 3u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), arena.view(ra).begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), arena.view(rb).begin()));
+  EXPECT_EQ(arena.live_clauses(), 2u);
+  EXPECT_EQ(arena.live_bytes(),
+            ClauseArena::block_bytes(3) + ClauseArena::block_bytes(1));
+}
+
+TEST(ClauseArena, EmptyClause) {
+  ClauseArena arena;
+  const ClauseArena::Ref r = arena.put(std::span<const Lit>{});
+  EXPECT_TRUE(arena.view(r).empty());
+  EXPECT_EQ(arena.live_bytes(), ClauseArena::block_bytes(0));
+}
+
+TEST(ClauseArena, ReleaseRecyclesSameLengthBlocks) {
+  ClauseArena arena;
+  const ClauseArena::Ref r1 = arena.put(lits({1, 2, 3}));
+  arena.release(r1);
+  EXPECT_EQ(arena.live_clauses(), 0u);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  const ClauseArena::Ref r2 = arena.put(lits({-5, 6, -7}));
+  EXPECT_EQ(r2, r1);  // same block reused
+  EXPECT_EQ(arena.recycled_bytes(), ClauseArena::block_bytes(3));
+  const auto v = arena.view(r2);
+  EXPECT_EQ(v[0], Lit::from_dimacs(-5));
+  // Peak never dropped below the single live clause.
+  EXPECT_EQ(arena.peak_bytes(), ClauseArena::block_bytes(3));
+}
+
+TEST(ClauseArena, StatsAccumulate) {
+  ClauseArena arena;
+  const ClauseArena::Ref r = arena.put(lits({1, 2}));
+  arena.put(lits({3, 4, 5}));
+  arena.release(r);
+  arena.put(lits({-1, -2}));  // recycled
+  EXPECT_EQ(arena.allocated_bytes(),
+            2 * ClauseArena::block_bytes(2) + ClauseArena::block_bytes(3));
+  EXPECT_EQ(arena.recycled_bytes(), ClauseArena::block_bytes(2));
+  EXPECT_EQ(arena.peak_bytes(),
+            ClauseArena::block_bytes(2) + ClauseArena::block_bytes(3));
+}
+
+TEST(ClauseArena, OversizedClauseGetsDedicatedChunk) {
+  ClauseArena arena;
+  std::vector<Lit> big;
+  for (int i = 1; i <= (1 << 16); ++i) big.push_back(Lit::from_dimacs(i));
+  const ClauseArena::Ref r = arena.put(big);
+  ASSERT_EQ(arena.view(r).size(), big.size());
+  EXPECT_TRUE(std::equal(big.begin(), big.end(), arena.view(r).begin()));
+  // A small clause afterwards still works (goes to a regular chunk).
+  const ClauseArena::Ref s = arena.put(lits({1}));
+  EXPECT_EQ(arena.view(s).size(), 1u);
+}
+
+TEST(ClauseArena, BlockPointersStableAcrossGrowth) {
+  ClauseArena arena;
+  const ClauseArena::Ref r = arena.put(lits({1, -2}));
+  const Lit* block = arena.block(r);
+  // Force many chunk allocations.
+  for (int i = 0; i < 100000; ++i) arena.put(lits({3, -4, 5}));
+  EXPECT_EQ(arena.block(r), block);
+  const auto v = ClauseArena::view_of(block);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], Lit::from_dimacs(-2));
+}
+
+TEST(ByteSource, MemorySourceServesWholeRange) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  MemoryByteSource src(data);
+  const auto w = src.window(0);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.begin[4], 5u);
+  EXPECT_EQ(src.window(3).size(), 2u);
+  EXPECT_EQ(src.window(5).size(), 0u);
+}
+
+TEST(ByteSource, StreamSourceRefillsAcrossTinyBuffer) {
+  std::string payload;
+  for (int i = 0; i < 1000; ++i) payload.push_back(static_cast<char>(i & 0xff));
+  std::istringstream is(payload);
+  StreamByteSource src(is, 16);  // force many refills
+  std::string read;
+  std::uint64_t pos = 0;
+  while (true) {
+    const auto w = src.window(pos);
+    if (w.size() == 0) break;
+    read.append(reinterpret_cast<const char*>(w.begin), w.size());
+    pos += w.size();
+  }
+  EXPECT_EQ(read, payload);
+}
+
+TEST(ByteSource, StreamSourceSeeksBackward) {
+  std::istringstream is("abcdefgh");
+  StreamByteSource src(is, 4);
+  EXPECT_EQ(*src.window(6).begin, 'g');
+  EXPECT_EQ(*src.window(0).begin, 'a');  // rewind via seekg
+  EXPECT_EQ(*src.window(2).begin, 'c');  // still buffered
+}
+
+TEST(ByteSource, MapFileRoundTrip) {
+  TempFile tmp("bytesource");
+  {
+    std::ofstream out(tmp.path(), std::ios::binary);
+    out << "mmap me";
+  }
+  const auto src = ByteSource::map_file(tmp.path());
+  const auto w = src->window(0);
+  ASSERT_EQ(w.size(), 7u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(w.begin), w.size()),
+            "mmap me");
+  EXPECT_EQ(src->window(7).size(), 0u);
 }
 
 }  // namespace

@@ -74,6 +74,7 @@ usage:
       exit code: 10 SAT, 20 UNSAT, 0 unknown, 1 error
 
   satproof check <file.cnf> <trace-file> [--checker=MODE] [--jobs=N] [--binary]
+                 [--stats]
       replay a trace against the formula; exit 0 iff the proof is valid.
       --checker picks the backend: df (default) depth-first resolution
       replay; bf breadth-first; hybrid the bounded-memory hybrid; parallel
@@ -81,7 +82,9 @@ usage:
       default: all hardware threads; identical verdict, core and stats to
       df); rup cross-validates every derived clause by reverse unit
       propagation instead of replaying resolutions. The flags --bf,
-      --hybrid and --rup remain as shorthands.
+      --hybrid and --rup remain as shorthands. --stats appends a line with
+      clause-arena traffic (bytes allocated/recycled/peak) and total peak
+      checker memory.
 
   satproof core <file.cnf> [--minimal] [--iterations N] [-o FILE]
       extract (and optionally minimize) an unsatisfiable core
@@ -482,6 +485,7 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const bool use_hybrid = args.take_flag("--hybrid");
   const bool use_rup = args.take_flag("--rup");
   const bool binary = args.take_flag("--binary");
+  const bool want_stats = args.take_flag("--stats");
   const auto checker_opt = args.take_option("--checker");
   unsigned jobs = 0;
   if (const auto v = args.take_option("--jobs")) {
@@ -507,7 +511,15 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   std::ifstream in(trace_path,
                    binary ? std::ios::in | std::ios::binary : std::ios::in);
   if (!in) throw CliError("cannot open trace file " + trace_path);
-  const auto reader = open_trace_reader(in, binary);
+  std::unique_ptr<trace::TraceReader> reader;
+  if (binary) {
+    // Regular files go through the zero-copy mmap byte source; the stream
+    // above only validated that the trace exists and is readable.
+    in.close();
+    reader = trace::open_binary_trace_file(trace_path);
+  } else {
+    reader = open_trace_reader(in, false);
+  }
 
   util::Timer timer;
   if (mode == "rup") {
@@ -543,6 +555,13 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
       }
       out << "} (" << result.stats.resolutions << " resolutions, "
           << timer.elapsed_seconds() << "s)\n";
+    }
+    if (want_stats) {
+      const checker::CheckStats& st = result.stats;
+      out << "stats: arena " << st.arena_allocated_bytes
+          << " bytes allocated, " << st.arena_recycled_bytes
+          << " recycled, " << st.arena_peak_bytes << " peak; "
+          << st.peak_mem_bytes << " bytes peak total\n";
     }
     return 0;
   }
