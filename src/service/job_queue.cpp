@@ -1,0 +1,54 @@
+#include "src/service/job_queue.hpp"
+
+namespace satproof::service {
+
+void JobTicket::complete(JobOutcome o, bool was_timeout) {
+  {
+    std::lock_guard lock(mutex);
+    outcome = std::move(o);
+    timed_out = was_timeout;
+    done = true;
+  }
+  cv.notify_all();
+}
+
+void JobTicket::wait() {
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [this] { return done; });
+}
+
+JobQueue::EnqueueResult JobQueue::try_enqueue(
+    JobRequest&& request, std::shared_ptr<JobTicket>& ticket_out) {
+  std::lock_guard lock(mutex_);
+  if (closed_) return EnqueueResult::kClosed;
+  if (queue_.size() >= capacity_) return EnqueueResult::kFull;
+  ticket_out = std::make_shared<JobTicket>();
+  queue_.emplace_back(std::move(request), ticket_out);
+  return EnqueueResult::kAccepted;
+}
+
+std::optional<std::pair<JobRequest, std::shared_ptr<JobTicket>>>
+JobQueue::try_pop() {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  auto item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+void JobQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace satproof::service

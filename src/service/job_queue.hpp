@@ -1,0 +1,81 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/service/run_check.hpp"
+#include "src/util/temp_file.hpp"
+
+namespace satproof::service {
+
+/// One admitted proof-checking job. The CNF and trace were streamed to
+/// temp files during upload; the request owns them, so their bytes live
+/// exactly as long as the job does.
+struct JobRequest {
+  std::uint64_t id = 0;
+  Backend backend = Backend::kDf;
+  unsigned jobs = 0;             ///< parallel-backend worker count
+  std::uint32_t timeout_ms = 0;  ///< wall-clock budget from enqueue; 0 = none
+  util::TempFile cnf_file;
+  util::TempFile trace_file;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// Completion rendezvous between the worker that runs a job and the
+/// connection thread that (optionally) waits for its result.
+struct JobTicket {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool timed_out = false;
+  JobOutcome outcome;
+
+  /// Worker side: publish the outcome and wake any waiter.
+  void complete(JobOutcome o, bool was_timeout);
+  /// Waiter side: block until complete() ran.
+  void wait();
+};
+
+/// Bounded FIFO of admitted jobs — the backpressure point of the service.
+///
+/// Admission control lives here and nowhere else: try_enqueue refuses when
+/// the queue holds `capacity` not-yet-started jobs (the caller answers the
+/// client with a BUSY frame) or after close() (the caller answers
+/// DRAINING). The thread pool's own queue stays effectively empty because
+/// the scheduler submits exactly one pool task per admitted job.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  enum class EnqueueResult { kAccepted, kFull, kClosed };
+
+  /// Admits a job. On kAccepted, `ticket_out` receives the completion
+  /// ticket; on kFull/kClosed the request (and its temp files) is
+  /// destroyed.
+  EnqueueResult try_enqueue(JobRequest&& request,
+                            std::shared_ptr<JobTicket>& ticket_out);
+
+  /// Takes the oldest admitted job; nullopt when empty.
+  std::optional<std::pair<JobRequest, std::shared_ptr<JobTicket>>> try_pop();
+
+  /// Refuses all future enqueues (drain).
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+  std::deque<std::pair<JobRequest, std::shared_ptr<JobTicket>>> queue_;
+};
+
+}  // namespace satproof::service

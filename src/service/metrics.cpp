@@ -1,0 +1,151 @@
+#include "src/service/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/json.hpp"
+
+namespace satproof::service {
+
+void LatencyHistogram::record(double seconds) {
+  const double us = std::max(seconds, 0.0) * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    bucket = static_cast<std::size_t>(std::log2(us));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  ++buckets_[bucket];
+  ++count_;
+  max_ms_ = std::max(max_ms_, seconds * 1e3);
+}
+
+double LatencyHistogram::percentile_ms(double p) const {
+  if (count_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 *
+                static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && rank > 0) {
+      // Upper bound of bucket i: 2^(i+1) microseconds.
+      return std::ldexp(1.0, static_cast<int>(i) + 1) / 1e3;
+    }
+  }
+  return max_ms_;
+}
+
+void Metrics::on_connection() {
+  std::lock_guard lock(mutex_);
+  ++connections_;
+}
+
+void Metrics::on_malformed_frame() {
+  std::lock_guard lock(mutex_);
+  ++malformed_frames_;
+}
+
+void Metrics::on_accepted() {
+  std::lock_guard lock(mutex_);
+  ++accepted_;
+}
+
+void Metrics::on_rejected_busy() {
+  std::lock_guard lock(mutex_);
+  ++rejected_busy_;
+}
+
+void Metrics::on_completed(Backend backend, double seconds, bool ok,
+                           std::size_t arena_peak_bytes) {
+  std::lock_guard lock(mutex_);
+  ++completed_;
+  if (!ok) ++failed_;
+  arena_peak_bytes_ = std::max(arena_peak_bytes_, arena_peak_bytes);
+  auto& bc = backends_[static_cast<std::size_t>(backend)];
+  ++bc.completed;
+  if (!ok) ++bc.failed;
+  bc.latency.record(seconds);
+}
+
+void Metrics::on_timeout(Backend backend) {
+  std::lock_guard lock(mutex_);
+  ++timed_out_;
+  ++backends_[static_cast<std::size_t>(backend)].timed_out;
+}
+
+std::string Metrics::to_json(std::size_t queue_depth,
+                             std::size_t queue_capacity,
+                             std::size_t running_jobs) const {
+  std::lock_guard lock(mutex_);
+  util::JsonWriter w;
+  w.begin_object();
+
+  w.key("jobs");
+  w.begin_object();
+  w.key("accepted");
+  w.value(accepted_);
+  w.key("rejected_busy");
+  w.value(rejected_busy_);
+  w.key("completed");
+  w.value(completed_);
+  w.key("failed");
+  w.value(failed_);
+  w.key("timed_out");
+  w.value(timed_out_);
+  w.end_object();
+
+  w.key("queue");
+  w.begin_object();
+  w.key("depth");
+  w.value(static_cast<std::uint64_t>(queue_depth));
+  w.key("capacity");
+  w.value(static_cast<std::uint64_t>(queue_capacity));
+  w.key("running");
+  w.value(static_cast<std::uint64_t>(running_jobs));
+  w.end_object();
+
+  w.key("protocol");
+  w.begin_object();
+  w.key("connections");
+  w.value(connections_);
+  w.key("malformed_frames");
+  w.value(malformed_frames_);
+  w.end_object();
+
+  w.key("arena_peak_bytes");
+  w.value(static_cast<std::uint64_t>(arena_peak_bytes_));
+
+  w.key("backends");
+  w.begin_object();
+  for (std::uint8_t b = 0; b < kNumBackends; ++b) {
+    const auto& bc = backends_[b];
+    w.key(backend_name(static_cast<Backend>(b)));
+    w.begin_object();
+    w.key("completed");
+    w.value(bc.completed);
+    w.key("failed");
+    w.value(bc.failed);
+    w.key("timed_out");
+    w.value(bc.timed_out);
+    w.key("latency_ms");
+    w.begin_object();
+    w.key("count");
+    w.value(bc.latency.count());
+    w.key("p50");
+    w.value(bc.latency.percentile_ms(50));
+    w.key("p90");
+    w.value(bc.latency.percentile_ms(90));
+    w.key("p99");
+    w.value(bc.latency.percentile_ms(99));
+    w.key("max");
+    w.value(bc.latency.max_ms());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace satproof::service

@@ -1,0 +1,204 @@
+#include "src/service/run_check.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/checker/breadth_first.hpp"
+#include "src/checker/depth_first.hpp"
+#include "src/checker/drup.hpp"
+#include "src/checker/hybrid.hpp"
+#include "src/checker/parallel.hpp"
+#include "src/cnf/dimacs.hpp"
+#include "src/trace/ascii.hpp"
+#include "src/trace/binary.hpp"
+#include "src/util/json.hpp"
+
+namespace satproof::service {
+
+std::optional<Backend> backend_from_name(std::string_view name) {
+  if (name == "df") return Backend::kDf;
+  if (name == "bf") return Backend::kBf;
+  if (name == "hybrid") return Backend::kHybrid;
+  if (name == "parallel") return Backend::kParallel;
+  if (name == "drup") return Backend::kDrup;
+  return std::nullopt;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDf: return "df";
+    case Backend::kBf: return "bf";
+    case Backend::kHybrid: return "hybrid";
+    case Backend::kParallel: return "parallel";
+    case Backend::kDrup: return "drup";
+  }
+  return "?";
+}
+
+std::string verdict_line(const JobOutcome& o) {
+  if (!o.ok) return "CHECK FAILED: " + o.error;
+  if (o.backend == Backend::kDrup) {
+    std::ostringstream os;
+    os << "VERIFIED (DRUP): " << o.drup_clauses_checked << " clauses, "
+       << o.drup_deletions << " deletions, " << o.drup_propagations
+       << " propagations";
+    return os.str();
+  }
+  std::ostringstream os;
+  if (o.failed_assumption_clause.empty()) {
+    os << "VERIFIED: valid resolution proof of unsatisfiability ("
+       << o.stats.resolutions << " resolutions)";
+  } else {
+    os << "VERIFIED: the formula refutes the assumption subset { ";
+    for (const Lit l : o.failed_assumption_clause) {
+      os << (~l).to_dimacs() << ' ';
+    }
+    os << "} (" << o.stats.resolutions << " resolutions)";
+  }
+  return os.str();
+}
+
+std::string check_stats_json(const checker::CheckStats& st) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("total_derivations");
+  w.value(st.total_derivations);
+  w.key("clauses_built");
+  w.value(st.clauses_built);
+  w.key("resolutions");
+  w.value(st.resolutions);
+  w.key("core_original_clauses");
+  w.value(st.core_original_clauses);
+  w.key("peak_mem_bytes");
+  w.value(static_cast<std::uint64_t>(st.peak_mem_bytes));
+  w.key("arena_allocated_bytes");
+  w.value(static_cast<std::uint64_t>(st.arena_allocated_bytes));
+  w.key("arena_recycled_bytes");
+  w.value(static_cast<std::uint64_t>(st.arena_recycled_bytes));
+  w.key("arena_peak_bytes");
+  w.value(static_cast<std::uint64_t>(st.arena_peak_bytes));
+  w.end_object();
+  return w.take();
+}
+
+std::string outcome_json(const JobOutcome& o) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("ok");
+  w.value(o.ok);
+  w.key("backend");
+  w.value(backend_name(o.backend));
+  w.key("verdict");
+  w.value(verdict_line(o));
+  w.key("error");
+  w.value(o.error);
+  if (o.backend == Backend::kDrup) {
+    w.key("drup");
+    w.begin_object();
+    w.key("clauses_checked");
+    w.value(o.drup_clauses_checked);
+    w.key("deletions");
+    w.value(o.drup_deletions);
+    w.key("propagations");
+    w.value(o.drup_propagations);
+    w.end_object();
+  } else {
+    // check_stats_json would be natural here, but JsonWriter has no raw
+    // splice; keep one canonical field order by emitting the same fields.
+    w.key("stats");
+    w.begin_object();
+    w.key("total_derivations");
+    w.value(o.stats.total_derivations);
+    w.key("clauses_built");
+    w.value(o.stats.clauses_built);
+    w.key("resolutions");
+    w.value(o.stats.resolutions);
+    w.key("core_original_clauses");
+    w.value(o.stats.core_original_clauses);
+    w.key("peak_mem_bytes");
+    w.value(static_cast<std::uint64_t>(o.stats.peak_mem_bytes));
+    w.key("arena_allocated_bytes");
+    w.value(static_cast<std::uint64_t>(o.stats.arena_allocated_bytes));
+    w.key("arena_recycled_bytes");
+    w.value(static_cast<std::uint64_t>(o.stats.arena_recycled_bytes));
+    w.key("arena_peak_bytes");
+    w.value(static_cast<std::uint64_t>(o.stats.arena_peak_bytes));
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+/// True when the file starts with the binary-trace magic "SPRF".
+bool is_binary_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  return in.gcount() == 4 && magic[0] == 'S' && magic[1] == 'P' &&
+         magic[2] == 'R' && magic[3] == 'F';
+}
+
+}  // namespace
+
+JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
+                     Backend backend, unsigned jobs) {
+  JobOutcome out;
+  out.backend = backend;
+  try {
+    const Formula f = dimacs::parse_file(cnf_path);
+
+    if (backend == Backend::kDrup) {
+      std::ifstream proof(trace_path);
+      if (!proof) throw std::runtime_error("cannot open " + trace_path);
+      const checker::DrupCheckResult res = checker::check_drup(f, proof);
+      out.ok = res.ok;
+      out.error = res.error;
+      out.drup_clauses_checked = res.clauses_checked;
+      out.drup_deletions = res.deletions;
+      out.drup_propagations = res.propagations;
+      return out;
+    }
+
+    std::unique_ptr<trace::TraceReader> reader;
+    std::ifstream ascii_in;
+    if (is_binary_trace(trace_path)) {
+      reader = trace::open_binary_trace_file(trace_path);
+    } else {
+      ascii_in.open(trace_path);
+      if (!ascii_in) throw std::runtime_error("cannot open " + trace_path);
+      reader = std::make_unique<trace::AsciiTraceReader>(ascii_in);
+    }
+
+    checker::CheckResult res;
+    switch (backend) {
+      case Backend::kBf:
+        res = checker::check_breadth_first(f, *reader);
+        break;
+      case Backend::kHybrid:
+        res = checker::check_hybrid(f, *reader);
+        break;
+      case Backend::kParallel: {
+        checker::ParallelOptions popts;
+        popts.jobs = jobs;
+        res = checker::check_parallel(f, *reader, popts);
+        break;
+      }
+      case Backend::kDf:
+      default:
+        res = checker::check_depth_first(f, *reader);
+        break;
+    }
+    out.ok = res.ok;
+    out.error = res.error;
+    out.stats = res.stats;
+    out.failed_assumption_clause = std::move(res.failed_assumption_clause);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace satproof::service

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/checker/common.hpp"
+
+namespace satproof::service {
+
+/// Checker backend a job runs under. The numeric values are wire format
+/// (SubmitHeader::backend) — do not reorder.
+enum class Backend : std::uint8_t {
+  kDf = 0,        ///< depth-first resolution replay
+  kBf = 1,        ///< breadth-first (bounded-memory) replay
+  kHybrid = 2,    ///< reachability-pruned breadth-first window
+  kParallel = 3,  ///< wavefront-parallel depth-first
+  kDrup = 4,      ///< forward DRUP (trace file holds a DRUP proof)
+};
+
+inline constexpr std::uint8_t kNumBackends = 5;
+
+[[nodiscard]] std::optional<Backend> backend_from_name(std::string_view name);
+[[nodiscard]] const char* backend_name(Backend b);
+
+/// Everything a checking run produces, minus wall-clock time — so two runs
+/// of the same job are comparable byte for byte. This is the unit the
+/// service executes, the CLI `check`/`drup` commands print, and the
+/// end-to-end test diffs against direct calls.
+struct JobOutcome {
+  bool ok = false;
+  std::string error;  ///< checker/parse diagnostic when !ok
+  Backend backend = Backend::kDf;
+  /// Replay backends (df/bf/hybrid/parallel); zeros for DRUP.
+  checker::CheckStats stats;
+  /// Non-empty for validated UNSAT-under-assumptions traces.
+  std::vector<Lit> failed_assumption_clause;
+  /// DRUP backend only.
+  std::uint64_t drup_clauses_checked = 0;
+  std::uint64_t drup_deletions = 0;
+  std::uint64_t drup_propagations = 0;
+};
+
+/// Deterministic one-line verdict (no timing), e.g.
+///   "VERIFIED: valid resolution proof of unsatisfiability (N resolutions)"
+///   "VERIFIED (DRUP): N clauses, M deletions, P propagations"
+///   "CHECK FAILED: <diagnostic>"
+[[nodiscard]] std::string verdict_line(const JobOutcome& outcome);
+
+/// JSON document describing the outcome (ok, verdict, error, stats).
+[[nodiscard]] std::string outcome_json(const JobOutcome& outcome);
+
+/// JSON object for a replay backend's CheckStats; shared by
+/// `satproof check --stats=json` and outcome_json so the two never drift.
+[[nodiscard]] std::string check_stats_json(const checker::CheckStats& stats);
+
+/// Checks `trace_path` against `cnf_path` with `backend`.
+///
+/// The trace encoding is auto-detected: a file starting with the binary
+/// magic "SPRF" goes through the zero-copy mmap ByteSource path, anything
+/// else is read as an ASCII trace (or, for the DRUP backend, a DRUP proof
+/// stream). Never throws — parse and I/O failures come back as a
+/// JobOutcome with ok == false, exactly like a rejected proof, so a bad
+/// job can never take down the service.
+///
+/// `jobs` is the parallel backend's worker count (0 = hardware threads);
+/// other backends ignore it.
+[[nodiscard]] JobOutcome run_check(const std::string& cnf_path,
+                                   const std::string& trace_path,
+                                   Backend backend, unsigned jobs = 0);
+
+}  // namespace satproof::service

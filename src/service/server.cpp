@@ -1,0 +1,375 @@
+#include "src/service/server.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+namespace satproof::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+/// Per-connection upload in progress: the job header plus the temp files
+/// the CNF and trace chunks stream into. Chunks hit disk immediately — the
+/// server never holds more of an upload in memory than one frame.
+struct UploadState {
+  bool active = false;
+  SubmitHeader header;
+  std::optional<util::TempFile> cnf_file;
+  std::optional<util::TempFile> trace_file;
+  std::ofstream cnf_out;
+  std::ofstream trace_out;
+
+  void begin(const SubmitHeader& h) {
+    header = h;
+    cnf_file.emplace("svc-cnf");
+    trace_file.emplace("svc-trace");
+    cnf_out.open(cnf_file->path(), std::ios::out | std::ios::binary);
+    trace_out.open(trace_file->path(), std::ios::out | std::ios::binary);
+    active = true;
+  }
+
+  void reset() {
+    active = false;
+    cnf_out.close();
+    trace_out.close();
+    cnf_file.reset();
+    trace_file.reset();
+  }
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity),
+      pool_(options_.jobs) {}
+
+Server::~Server() {
+  bool need_drain = false;
+  {
+    std::lock_guard lock(state_mutex_);
+    need_drain = started_ && !drained_;
+  }
+  if (need_drain) drain_and_wait();
+}
+
+void Server::start() {
+  if (options_.unix_socket_path.empty() && !options_.enable_tcp) {
+    throw std::runtime_error(
+        "server needs at least one transport (unix socket or tcp)");
+  }
+  if (!options_.unix_socket_path.empty()) {
+    unix_listener_ = util::listen_unix(options_.unix_socket_path);
+  }
+  if (options_.enable_tcp) {
+    tcp_listener_ = util::listen_tcp_localhost(options_.tcp_port);
+    tcp_port_ = util::local_port(tcp_listener_);
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    started_ = true;
+  }
+  listener_thread_ = std::jthread([this] { listener_loop(); });
+}
+
+void Server::wait_until_drained() {
+  std::unique_lock lock(state_mutex_);
+  if (!started_) return;
+  state_cv_.wait(lock, [this] { return drained_; });
+}
+
+void Server::drain_and_wait() {
+  request_drain();
+  wait_until_drained();
+}
+
+std::string Server::metrics_json() const {
+  return metrics_.to_json(queue_.depth(), queue_.capacity(),
+                          running_jobs_.load());
+}
+
+void Server::listener_loop() {
+  for (;;) {
+    const int fds[3] = {unix_listener_.valid() ? unix_listener_.fd() : -1,
+                        tcp_listener_.valid() ? tcp_listener_.fd() : -1,
+                        wake_pipe_.read_fd};
+    const unsigned mask = util::poll_readable(fds, -1);
+    if ((mask & 4u) != 0) break;  // drain requested
+    for (int i = 0; i < 2; ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      util::Socket& listener = i == 0 ? unix_listener_ : tcp_listener_;
+      util::Socket conn = util::accept_connection(listener);
+      if (!conn.valid()) continue;
+      if (options_.idle_timeout_ms > 0) {
+        conn.set_recv_timeout_ms(options_.idle_timeout_ms);
+      }
+      reap_finished_connections();
+      auto slot = std::make_unique<ConnSlot>();
+      slot->sock = std::move(conn);
+      ConnSlot* raw = slot.get();
+      {
+        std::lock_guard lock(conns_mutex_);
+        conns_.push_back(std::move(slot));
+      }
+      raw->thread = std::jthread([this, raw] { connection_main(raw); });
+    }
+  }
+  finish_drain();
+}
+
+void Server::finish_drain() {
+  wake_pipe_.drain();
+  draining_.store(true);
+  unix_listener_.close();
+  tcp_listener_.close();
+  if (!options_.unix_socket_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options_.unix_socket_path, ec);
+  }
+
+  // Close admissions, then let every admitted job finish. The shared
+  // schedule mutex guarantees each admitted job already has its pool task
+  // submitted, so wait_idle() covers every outstanding ticket.
+  {
+    std::lock_guard lock(schedule_mutex_);
+    queue_.close();
+  }
+  pool_.wait_idle();
+
+  // Wake connection threads blocked in recv; their write sides stay open
+  // so a final result frame still goes out.
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (auto& slot : conns_) {
+      if (!slot->done.load()) slot->sock.shutdown_read();
+    }
+  }
+  // Join outside the lock: a connection's final close needs conns_mutex_.
+  std::list<std::unique_ptr<ConnSlot>> taken;
+  {
+    std::lock_guard lock(conns_mutex_);
+    taken.swap(conns_);
+  }
+  taken.clear();  // jthread destructors join
+
+  {
+    std::lock_guard lock(state_mutex_);
+    drained_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void Server::reap_finished_connections() {
+  std::list<std::unique_ptr<ConnSlot>> dead;
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  dead.clear();  // joins finished threads outside the lock
+}
+
+void Server::connection_main(ConnSlot* slot) {
+  metrics_.on_connection();
+  UploadState upload;
+  for (;;) {
+    Frame frame;
+    const ReadStatus st = read_frame(slot->sock, frame);
+    if (st == ReadStatus::kClosed) break;  // orderly close
+    if (st == ReadStatus::kTruncated) {
+      // Mid-frame disconnect or stalled peer: count it, close quietly —
+      // there is no guarantee the peer can still read an error frame.
+      metrics_.on_malformed_frame();
+      break;
+    }
+    if (st == ReadStatus::kOversized) {
+      metrics_.on_malformed_frame();
+      write_frame(slot->sock, FrameTag::kError,
+                  encode_error(ErrorCode::kOversizedFrame,
+                               "declared frame length exceeds the cap"));
+      break;
+    }
+    if (!handle_frame(slot->sock, frame, upload)) break;
+  }
+  {
+    std::lock_guard lock(conns_mutex_);
+    slot->sock.close();
+  }
+  slot->done.store(true);
+}
+
+bool Server::handle_frame(util::Socket& sock, Frame& frame,
+                          UploadState& upload) {
+  const auto protocol_error = [&](ErrorCode code, std::string_view msg) {
+    metrics_.on_malformed_frame();
+    write_frame(sock, FrameTag::kError, encode_error(code, msg));
+    return false;
+  };
+
+  switch (frame.tag) {
+    case FrameTag::kSubmit: {
+      if (upload.active) {
+        return protocol_error(ErrorCode::kProtocolViolation,
+                              "SUBMIT while an upload is in progress");
+      }
+      SubmitHeader header;
+      if (!decode_submit_header(frame.payload, header)) {
+        return protocol_error(ErrorCode::kMalformedFrame,
+                              "SUBMIT payload is not a submit header");
+      }
+      if (header.backend >= kNumBackends) {
+        return protocol_error(ErrorCode::kBadRequest,
+                              "unknown backend id " +
+                                  std::to_string(header.backend));
+      }
+      upload.begin(header);
+      return true;
+    }
+
+    case FrameTag::kCnfData:
+    case FrameTag::kTraceData: {
+      if (!upload.active) {
+        return protocol_error(ErrorCode::kProtocolViolation,
+                              "data chunk outside an upload");
+      }
+      std::ofstream& out = frame.tag == FrameTag::kCnfData ? upload.cnf_out
+                                                           : upload.trace_out;
+      if (!frame.payload.empty()) {
+        out.write(reinterpret_cast<const char*>(frame.payload.data()),
+                  static_cast<std::streamsize>(frame.payload.size()));
+      }
+      return true;
+    }
+
+    case FrameTag::kSubmitEnd: {
+      if (!upload.active) {
+        return protocol_error(ErrorCode::kProtocolViolation,
+                              "SUBMIT_END without a submit");
+      }
+      upload.cnf_out.close();
+      upload.trace_out.close();
+
+      JobRequest request;
+      request.id = next_job_id_.fetch_add(1);
+      request.backend = static_cast<Backend>(upload.header.backend);
+      request.jobs = upload.header.jobs;
+      request.timeout_ms = upload.header.timeout_ms != 0
+                               ? upload.header.timeout_ms
+                               : options_.default_timeout_ms;
+      request.cnf_file = std::move(*upload.cnf_file);
+      request.trace_file = std::move(*upload.trace_file);
+      request.enqueued_at = Clock::now();
+      const std::uint64_t job_id = request.id;
+      const bool wait = (upload.header.flags & kSubmitFlagWait) != 0;
+      upload.reset();
+
+      std::shared_ptr<JobTicket> ticket;
+      JobQueue::EnqueueResult res;
+      {
+        std::lock_guard lock(schedule_mutex_);
+        res = queue_.try_enqueue(std::move(request), ticket);
+        if (res == JobQueue::EnqueueResult::kAccepted) {
+          pool_.submit([this] { run_one_job(); });
+        }
+      }
+
+      if (res == JobQueue::EnqueueResult::kClosed) {
+        write_frame(sock, FrameTag::kError,
+                    encode_error(ErrorCode::kDraining,
+                                 "server is draining; job refused"));
+        return false;
+      }
+      if (res == JobQueue::EnqueueResult::kFull) {
+        metrics_.on_rejected_busy();
+        std::vector<std::uint8_t> payload;
+        append_u32le(payload, static_cast<std::uint32_t>(queue_.capacity()));
+        write_frame(sock, FrameTag::kBusy, payload);
+        return true;  // connection stays usable
+      }
+
+      metrics_.on_accepted();
+      std::vector<std::uint8_t> payload;
+      append_u64le(payload, job_id);
+      if (!write_frame(sock, FrameTag::kAccepted, payload)) return false;
+      if (wait) {
+        ticket->wait();
+        const JobStatus status = ticket->timed_out ? JobStatus::kTimeout
+                                 : ticket->outcome.ok
+                                     ? JobStatus::kOk
+                                     : JobStatus::kCheckFailed;
+        const std::vector<std::uint8_t> result = encode_result(
+            status, job_id, verdict_line(ticket->outcome),
+            outcome_json(ticket->outcome));
+        if (!write_frame(sock, FrameTag::kResult, result)) return false;
+      }
+      return true;
+    }
+
+    case FrameTag::kStats: {
+      if (upload.active) {
+        return protocol_error(ErrorCode::kProtocolViolation,
+                              "STATS during an upload");
+      }
+      return write_frame(sock, FrameTag::kStatsJson, metrics_json());
+    }
+
+    default:
+      return protocol_error(ErrorCode::kUnknownTag,
+                            "unknown frame tag " +
+                                std::to_string(static_cast<unsigned>(
+                                    static_cast<std::uint8_t>(frame.tag))));
+  }
+}
+
+void Server::run_one_job() {
+  auto item = queue_.try_pop();
+  if (!item) return;
+  JobRequest request = std::move(item->first);
+  std::shared_ptr<JobTicket> ticket = std::move(item->second);
+
+  running_jobs_.fetch_add(1);
+  const auto start = Clock::now();
+  const bool has_deadline = request.timeout_ms > 0;
+  const auto deadline =
+      request.enqueued_at + std::chrono::milliseconds(request.timeout_ms);
+
+  JobOutcome outcome;
+  bool timed_out = false;
+  if (has_deadline && start >= deadline) {
+    // Expired while queued: fail fast without burning a checker run.
+    outcome.backend = request.backend;
+    outcome.ok = false;
+    outcome.error = "job timed out waiting in the queue";
+    timed_out = true;
+  } else {
+    outcome = run_check(request.cnf_file.path().string(),
+                        request.trace_file.path().string(), request.backend,
+                        request.jobs);
+    if (has_deadline && Clock::now() > deadline) {
+      // Soft timeout: checking is not preemptible, so an overlong job is
+      // reported as timed out after the fact (docs/SERVICE.md).
+      timed_out = true;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (timed_out) {
+    metrics_.on_timeout(request.backend);
+  } else {
+    metrics_.on_completed(request.backend, seconds, outcome.ok,
+                          outcome.stats.arena_peak_bytes);
+  }
+  running_jobs_.fetch_sub(1);
+  ticket->complete(std::move(outcome), timed_out);
+}
+
+}  // namespace satproof::service

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/service/job_queue.hpp"
+#include "src/service/metrics.hpp"
+#include "src/service/protocol.hpp"
+#include "src/util/socket.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace satproof::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path ("" = no unix listener). First-class
+  /// transport: no TCP stack in the loop, filesystem permissions for
+  /// access control.
+  std::string unix_socket_path;
+  /// Listen on 127.0.0.1 TCP as well (never on other interfaces).
+  bool enable_tcp = false;
+  std::uint16_t tcp_port = 0;  ///< 0 = ephemeral (see tcp_port())
+
+  unsigned jobs = 0;              ///< checker worker threads (0 = hardware)
+  std::size_t queue_capacity = 64;  ///< pending jobs before BUSY
+  std::uint32_t default_timeout_ms = 0;  ///< per-job budget; 0 = unlimited
+  /// Idle-connection guard: a peer that stalls mid-frame (or goes silent)
+  /// is dropped after this long instead of pinning a connection thread
+  /// forever. 0 disables.
+  std::uint32_t idle_timeout_ms = 30000;
+};
+
+/// The satproofd daemon: accepts proof-checking jobs over the framed
+/// protocol (src/service/protocol.hpp), streams uploads to temp files,
+/// schedules checking runs on a util::ThreadPool behind a bounded
+/// JobQueue, and serves live metrics.
+///
+/// Threading: one listener thread (poll over the listen sockets plus the
+/// drain wake pipe), one thread per live connection, and the checker pool.
+/// Ingestion never buffers a whole trace in memory — upload chunks go
+/// straight to disk, and the checkers then read the file through the mmap
+/// ByteSource path.
+///
+/// Shutdown is a *drain*: request_drain() (or a SIGTERM handler calling
+/// notify_drain_from_signal()) stops accepting connections and jobs,
+/// lets queued and running jobs finish, delivers their results to waiting
+/// clients, then releases serve_forever(). Nothing is killed mid-check.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the listener thread. Throws
+  /// std::runtime_error when no transport is configured or a bind fails.
+  void start();
+
+  /// Actual TCP port (resolves an ephemeral request); 0 when TCP is off.
+  [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Async-signal-safe drain trigger for SIGTERM/SIGINT handlers: only
+  /// writes one byte to a pipe.
+  void notify_drain_from_signal() noexcept { wake_pipe_.notify(); }
+
+  /// Thread-safe drain trigger.
+  void request_drain() { wake_pipe_.notify(); }
+
+  /// Blocks until a drain completes (all jobs finished, all connections
+  /// closed, listeners down).
+  void wait_until_drained();
+
+  /// request_drain() + wait_until_drained().
+  void drain_and_wait();
+
+  /// Metrics snapshot (same JSON as the protocol's stats reply).
+  [[nodiscard]] std::string metrics_json() const;
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  struct ConnSlot {
+    util::Socket sock;
+    std::atomic<bool> done{false};
+    std::jthread thread;  ///< last member: joins before sock dies
+  };
+
+  void listener_loop();
+  void connection_main(ConnSlot* slot);
+  /// Returns false when the connection must close.
+  bool handle_frame(util::Socket& sock, Frame& frame,
+                    struct UploadState& upload);
+  void run_one_job();
+  void reap_finished_connections();
+  void finish_drain();
+
+  ServerOptions options_;
+  util::Socket unix_listener_;
+  util::Socket tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+  util::WakePipe wake_pipe_;
+
+  Metrics metrics_;
+  JobQueue queue_;
+  util::ThreadPool pool_;
+  std::atomic<std::size_t> running_jobs_{0};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<bool> draining_{false};
+
+  /// Serializes job admission against drain: an admitted job always has
+  /// its pool task submitted before the queue closes, so the drain's
+  /// wait_idle() covers every ticket and no waiter can be stranded.
+  std::mutex schedule_mutex_;
+
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<ConnSlot>> conns_;
+
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool started_ = false;
+  bool drained_ = false;
+
+  std::jthread listener_thread_;
+};
+
+}  // namespace satproof::service

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace satproof::util {
+
+/// RAII owner of one socket file descriptor, plus the handful of blocking
+/// I/O helpers the proof-checking service needs. POSIX-only in
+/// implementation (Unix-domain and localhost TCP sockets); on platforms
+/// without BSD sockets every factory throws std::runtime_error, keeping
+/// the rest of the service code portable to compile.
+///
+/// All I/O is blocking with EINTR retried. Sends use MSG_NOSIGNAL (a peer
+/// that disappeared yields an error return, never SIGPIPE).
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void close() noexcept;
+
+  /// shutdown(2) both directions; errors ignored. Used to wake a peer (or
+  /// our own thread) blocked in recv.
+  void shutdown_both() noexcept;
+
+  /// shutdown(2) the read side only: wakes a thread blocked in recv while
+  /// leaving in-flight sends (e.g. a final result frame) intact.
+  void shutdown_read() noexcept;
+
+  /// Writes all `n` bytes; returns false on any error (including a closed
+  /// peer).
+  bool send_all(const void* data, std::size_t n) noexcept;
+
+  /// Reads up to `n` bytes. Returns the byte count (> 0), 0 on orderly
+  /// close, or -1 on error/timeout.
+  std::ptrdiff_t recv_some(void* data, std::size_t n) noexcept;
+
+  /// Reads exactly `n` bytes unless the peer closes or errors first;
+  /// returns the number of bytes actually read (== n on success).
+  std::size_t recv_exact(void* data, std::size_t n) noexcept;
+
+  /// Sets SO_RCVTIMEO; a blocked recv then fails instead of hanging
+  /// forever on a stalled peer. 0 disables the timeout.
+  void set_recv_timeout_ms(unsigned ms) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a Unix-domain socket at `path`, replacing a stale
+/// socket file if one exists. Throws std::runtime_error on failure.
+Socket listen_unix(const std::string& path, int backlog = 64);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Throws
+/// std::runtime_error on failure.
+Socket listen_tcp_localhost(std::uint16_t port, int backlog = 64);
+
+/// Actual bound port of a TCP listener (resolves port 0).
+std::uint16_t local_port(const Socket& listener);
+
+/// Accepts one connection; an invalid Socket means the listener was
+/// closed/shut down or accept failed.
+Socket accept_connection(Socket& listener);
+
+/// Connects to a Unix-domain socket. Throws std::runtime_error on failure.
+Socket connect_unix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`. Throws std::runtime_error on failure.
+Socket connect_tcp_localhost(std::uint16_t port);
+
+/// poll(2) for readability over up to three descriptors (listener fds plus
+/// the drain-notification pipe). Returns a bitmask: bit i set when fds[i]
+/// is readable or in an error/hup state. Negative fds are skipped.
+/// timeout_ms < 0 blocks indefinitely.
+unsigned poll_readable(const int (&fds)[3], int timeout_ms);
+
+/// Anonymous pipe for async-signal-safe wakeups: a signal handler write()s
+/// one byte to `write_fd`, the poll loop sees `read_fd` readable.
+struct WakePipe {
+  WakePipe();  ///< throws std::runtime_error on failure
+  ~WakePipe();
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// Async-signal-safe: writes one byte, ignoring errors (a full pipe
+  /// still means the reader has a pending wakeup).
+  void notify() noexcept;
+  /// Drains any pending bytes.
+  void drain() noexcept;
+
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+}  // namespace satproof::util

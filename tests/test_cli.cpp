@@ -118,6 +118,26 @@ TEST_F(CliTest, CheckStatsReportsArenaTraffic) {
   EXPECT_NE(bf.out.find("stats: arena "), std::string::npos);
 }
 
+TEST_F(CliTest, CheckStatsJsonEmitsMachineReadableCounters) {
+  gen_php(5);
+  const CliRun s = run({"solve", cnf(), "--trace", aux()});
+  ASSERT_EQ(s.exit_code, kExitUnsat) << s.err;
+  const CliRun c = run({"check", "--stats=json", cnf(), aux()});
+  EXPECT_EQ(c.exit_code, 0) << c.err;
+  // Human verdict line first, then one JSON object with the counters the
+  // service stats reply also serializes.
+  EXPECT_NE(c.out.find("VERIFIED"), std::string::npos);
+  EXPECT_NE(c.out.find("{\"total_derivations\":"), std::string::npos);
+  EXPECT_NE(c.out.find("\"resolutions\":"), std::string::npos);
+  EXPECT_NE(c.out.find("\"arena_peak_bytes\":"), std::string::npos);
+  // The plain-text stats line must not leak into JSON mode.
+  EXPECT_EQ(c.out.find("stats: arena "), std::string::npos);
+
+  const CliRun bad = run({"check", "--stats=yaml", cnf(), aux()});
+  EXPECT_EQ(bad.exit_code, kExitError);
+  EXPECT_NE(bad.err.find("--stats"), std::string::npos);
+}
+
 TEST_F(CliTest, CheckRejectsMismatchedTrace) {
   gen_php(5);
   const CliRun s = run({"solve", cnf(), "--trace", aux()});

@@ -1,0 +1,338 @@
+// End-to-end tests for satproofd: an in-process server, real sockets, real
+// CNF/trace files, all five checking backends, and verdicts that must be
+// byte-identical to direct run_check() calls.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/client.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/run_check.hpp"
+#include "src/service/server.hpp"
+#include "src/util/socket.hpp"
+#include "src/util/temp_file.hpp"
+#include "tools/cli.hpp"
+
+namespace satproof::service {
+namespace {
+
+int run_cli_quiet(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  return cli::run_cli(args, out, err);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Shared on-disk fixtures: solved once for the whole suite.
+struct Fixtures {
+  util::TempFile php4_cnf{"svc-php4-cnf"};
+  util::TempFile php4_trace{"svc-php4-trace"};
+  util::TempFile php4_btrace{"svc-php4-btrace"};
+  util::TempFile php4_drup{"svc-php4-drup"};
+  util::TempFile php8_cnf{"svc-php8-cnf"};
+  util::TempFile php8_trace{"svc-php8-trace"};
+  util::TempFile sat_cnf{"svc-sat-cnf"};
+  util::TempFile garbage_trace{"svc-garbage"};
+  util::TempFile empty_drup{"svc-empty-drup"};
+
+  std::string php4() const { return php4_cnf.path().string(); }
+  std::string trace4() const { return php4_trace.path().string(); }
+  std::string btrace4() const { return php4_btrace.path().string(); }
+  std::string drup4() const { return php4_drup.path().string(); }
+  std::string php8() const { return php8_cnf.path().string(); }
+  std::string trace8() const { return php8_trace.path().string(); }
+
+  Fixtures() {
+    if (run_cli_quiet({"gen", "php", "4", "-o", php4()}) != 0 ||
+        run_cli_quiet({"gen", "php", "8", "-o", php8()}) != 0) {
+      throw std::runtime_error("fixture generation failed");
+    }
+    if (run_cli_quiet({"solve", php4(), "--trace", trace4(), "--drup",
+                       drup4()}) != cli::kExitUnsat ||
+        run_cli_quiet({"solve", php4(), "--trace", btrace4(), "--binary"}) !=
+            cli::kExitUnsat ||
+        run_cli_quiet({"solve", php8(), "--trace", trace8()}) !=
+            cli::kExitUnsat) {
+      throw std::runtime_error("fixture solving failed");
+    }
+    std::ofstream(sat_cnf.path()) << "p cnf 2 2\n1 2 0\n-1 0\n";
+    std::ofstream(garbage_trace.path()) << "this is not a trace\n";
+    std::ofstream(empty_drup.path()) << "";
+  }
+};
+
+class ServiceE2E : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (fx_ == nullptr) fx_ = new Fixtures();
+  }
+  // Intentionally leaked at process exit; fixtures are plain temp files.
+
+  /// Starts a fresh server on a unique unix socket.
+  void start_server(ServerOptions opts = {}) {
+    opts.unix_socket_path = socket_file_.path().string();
+    if (opts.jobs == 0) opts.jobs = 1;
+    server_.emplace(std::move(opts));
+    server_->start();
+  }
+
+  Client connect() {
+    return Client::connect_unix(socket_file_.path().string());
+  }
+
+  void TearDown() override {
+    if (server_) server_->drain_and_wait();
+  }
+
+  static Fixtures* fx_;
+  util::TempFile socket_file_{"svc-e2e-sock"};
+  std::optional<Server> server_;
+};
+
+Fixtures* ServiceE2E::fx_ = nullptr;
+
+TEST_F(ServiceE2E, AllBackendsMatchDirectRunCheck) {
+  start_server();
+  for (int b = 0; b < static_cast<int>(kNumBackends); ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    const std::string trace =
+        backend == Backend::kDrup ? fx_->drup4() : fx_->trace4();
+
+    const JobOutcome direct = run_check(fx_->php4(), trace, backend);
+    ASSERT_TRUE(direct.ok) << backend_name(backend) << ": " << direct.error;
+
+    Client client = connect();
+    const Client::SubmitReply reply =
+        client.submit(fx_->php4(), trace, backend, /*wait=*/true);
+    ASSERT_TRUE(reply.transport_ok) << reply.error;
+    ASSERT_TRUE(reply.accepted);
+    ASSERT_TRUE(reply.have_result);
+    EXPECT_EQ(reply.status, JobStatus::kOk) << backend_name(backend);
+    // The service verdict must be byte-identical to a direct call: the
+    // daemon adds scheduling, never a different answer.
+    EXPECT_EQ(reply.verdict, verdict_line(direct)) << backend_name(backend);
+    EXPECT_EQ(reply.result_json, outcome_json(direct))
+        << backend_name(backend);
+  }
+}
+
+TEST_F(ServiceE2E, BinaryTraceIsAutoDetected) {
+  start_server();
+  const JobOutcome direct =
+      run_check(fx_->php4(), fx_->btrace4(), Backend::kDf);
+  ASSERT_TRUE(direct.ok) << direct.error;
+
+  Client client = connect();
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->btrace4(), Backend::kDf, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  EXPECT_EQ(reply.status, JobStatus::kOk);
+  EXPECT_EQ(reply.verdict, verdict_line(direct));
+}
+
+TEST_F(ServiceE2E, CorruptTraceFailsCleanly) {
+  start_server();
+  Client client = connect();
+  const Client::SubmitReply reply = client.submit(
+      fx_->php4(), fx_->garbage_trace.path().string(), Backend::kDf, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  ASSERT_TRUE(reply.have_result);
+  EXPECT_EQ(reply.status, JobStatus::kCheckFailed);
+  EXPECT_EQ(reply.verdict.rfind("CHECK FAILED:", 0), 0u) << reply.verdict;
+  EXPECT_NE(server_->metrics_json().find("\"failed\":1"), std::string::npos);
+}
+
+TEST_F(ServiceE2E, SatFormulaCannotBeProvenUnsat) {
+  start_server();
+  Client client = connect();
+  const Client::SubmitReply reply =
+      client.submit(fx_->sat_cnf.path().string(),
+                    fx_->empty_drup.path().string(), Backend::kDrup, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  EXPECT_EQ(reply.status, JobStatus::kCheckFailed);
+  EXPECT_EQ(reply.verdict.rfind("CHECK FAILED:", 0), 0u) << reply.verdict;
+}
+
+TEST_F(ServiceE2E, OneConnectionCanCarryManyJobs) {
+  start_server();
+  Client client = connect();
+  for (int round = 0; round < 3; ++round) {
+    const Client::SubmitReply reply =
+        client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, true);
+    ASSERT_TRUE(reply.transport_ok) << reply.error;
+    EXPECT_EQ(reply.status, JobStatus::kOk);
+  }
+  EXPECT_NE(server_->metrics_json().find("\"completed\":3"),
+            std::string::npos);
+}
+
+TEST_F(ServiceE2E, ConcurrentClientsAllVerify) {
+  ServerOptions opts;
+  opts.jobs = 2;
+  start_server(opts);
+  const Backend backends[4] = {Backend::kDf, Backend::kBf, Backend::kHybrid,
+                               Backend::kParallel};
+  std::vector<std::thread> threads;
+  std::vector<Client::SubmitReply> replies(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([this, i, &backends, &replies] {
+      Client client = connect();
+      replies[i] =
+          client.submit(fx_->php4(), fx_->trace4(), backends[i], true);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(replies[i].transport_ok) << replies[i].error;
+    EXPECT_EQ(replies[i].status, JobStatus::kOk)
+        << backend_name(backends[i]);
+    const JobOutcome direct =
+        run_check(fx_->php4(), fx_->trace4(), backends[i]);
+    EXPECT_EQ(replies[i].verdict, verdict_line(direct));
+  }
+  EXPECT_NE(server_->metrics_json().find("\"completed\":4"),
+            std::string::npos);
+}
+
+TEST_F(ServiceE2E, QueueFullAnswersBusyAndConnectionSurvives) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.queue_capacity = 1;
+  start_server(opts);
+
+  // Pipeline a burst of slow jobs over one raw connection: with one worker
+  // and a one-slot queue, the tail of the burst must hit BUSY while the
+  // head is still checking. Retry the whole burst a few times so a slow
+  // machine can't make this flaky.
+  const std::string cnf_bytes = read_file(fx_->php8());
+  const std::string trace_bytes = read_file(fx_->trace8());
+  int busy = 0, accepted = 0;
+  for (int attempt = 0; attempt < 5 && busy == 0; ++attempt) {
+    util::Socket sock =
+        util::connect_unix(socket_file_.path().string());
+    const int kBurst = 6;
+    SubmitHeader header;  // df backend, no wait
+    for (int i = 0; i < kBurst; ++i) {
+      ASSERT_TRUE(
+          write_frame(sock, FrameTag::kSubmit, encode_submit_header(header)));
+      ASSERT_TRUE(write_frame(sock, FrameTag::kCnfData, cnf_bytes));
+      ASSERT_TRUE(write_frame(sock, FrameTag::kTraceData, trace_bytes));
+      ASSERT_TRUE(write_frame(sock, FrameTag::kSubmitEnd));
+    }
+    for (int i = 0; i < kBurst; ++i) {
+      Frame frame;
+      ASSERT_EQ(read_frame(sock, frame), ReadStatus::kFrame);
+      if (frame.tag == FrameTag::kBusy) {
+        ++busy;
+        ASSERT_EQ(frame.payload.size(), 4u);
+        EXPECT_EQ(read_u32le(frame.payload.data()), 1u);  // queue capacity
+      } else {
+        ASSERT_EQ(frame.tag, FrameTag::kAccepted);
+        ++accepted;
+      }
+    }
+  }
+  EXPECT_GE(busy, 1);
+  EXPECT_GE(accepted, 1);
+  std::ostringstream expected;
+  expected << "\"rejected_busy\":" << busy;
+  EXPECT_NE(server_->metrics_json().find(expected.str()), std::string::npos);
+}
+
+TEST_F(ServiceE2E, OverlongJobIsReportedAsTimeout) {
+  start_server();
+  Client client = connect();
+  // A 1 ms budget that a php8 replay cannot possibly meet. Checkers are
+  // not preemptible, so this is a *soft* timeout: the job completes and is
+  // then reported as timed out (docs/SERVICE.md).
+  const Client::SubmitReply reply =
+      client.submit(fx_->php8(), fx_->trace8(), Backend::kDf, true,
+                    /*jobs=*/0, /*timeout_ms=*/1);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  ASSERT_TRUE(reply.have_result);
+  EXPECT_EQ(reply.status, JobStatus::kTimeout);
+  EXPECT_NE(server_->metrics_json().find("\"timed_out\":1"),
+            std::string::npos);
+}
+
+TEST_F(ServiceE2E, StatsReplyMatchesServerSnapshot) {
+  start_server();
+  Client client = connect();
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kBf, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+
+  std::string error;
+  const std::string json = client.stats_json(&error);
+  ASSERT_FALSE(json.empty()) << error;
+  // Quiescent server: the protocol reply and the in-process snapshot are
+  // the same serializer over the same counters.
+  EXPECT_EQ(json, server_->metrics_json());
+  EXPECT_NE(json.find("\"accepted\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bf\":{\"completed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"arena_peak_bytes\":"), std::string::npos);
+}
+
+TEST_F(ServiceE2E, TcpTransportWorks) {
+  ServerOptions opts;
+  opts.enable_tcp = true;  // ephemeral port
+  start_server(opts);
+  ASSERT_NE(server_->tcp_port(), 0);
+  Client client = Client::connect_tcp(server_->tcp_port());
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  EXPECT_EQ(reply.status, JobStatus::kOk);
+}
+
+TEST_F(ServiceE2E, DrainFinishesAcceptedJobsThenRefusesNewOnes) {
+  start_server();
+  {
+    Client client = connect();
+    const Client::SubmitReply reply =
+        client.submit(fx_->php8(), fx_->trace8(), Backend::kDf,
+                      /*wait=*/false);
+    ASSERT_TRUE(reply.transport_ok) << reply.error;
+    ASSERT_TRUE(reply.accepted);
+  }
+  server_->drain_and_wait();
+  // The accepted job ran to completion during the drain...
+  const std::string json = server_->metrics_json();
+  EXPECT_NE(json.find("\"accepted\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":1"), std::string::npos);
+  // ...and the listener is gone: the socket file has been removed.
+  EXPECT_THROW(Client::connect_unix(socket_file_.path().string()),
+               std::runtime_error);
+}
+
+TEST_F(ServiceE2E, WaitModeResultSurvivesAConcurrentDrain) {
+  start_server();
+  Client client = connect();
+  std::thread drainer([this] { server_->drain_and_wait(); });
+  // Even if the drain wins the race, a job admitted before the queue
+  // closes must still deliver its result frame; one admitted after is
+  // refused with a typed DRAINING error. Both are clean outcomes.
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, true);
+  drainer.join();
+  if (reply.accepted) {
+    EXPECT_TRUE(reply.have_result);
+    EXPECT_EQ(reply.status, JobStatus::kOk);
+  } else {
+    EXPECT_FALSE(reply.transport_ok);
+  }
+}
+
+}  // namespace
+}  // namespace satproof::service

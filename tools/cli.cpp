@@ -1,5 +1,7 @@
 #include "tools/cli.hpp"
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -29,6 +31,9 @@
 #include "src/proof/proof_dag.hpp"
 #include "src/proof/rup.hpp"
 #include "src/proof/trim.hpp"
+#include "src/service/client.hpp"
+#include "src/service/run_check.hpp"
+#include "src/service/server.hpp"
 #include "src/simplify/pipeline.hpp"
 #include "src/solver/solver.hpp"
 #include "src/trace/ascii.hpp"
@@ -84,7 +89,30 @@ usage:
       propagation instead of replaying resolutions. The flags --bf,
       --hybrid and --rup remain as shorthands. --stats appends a line with
       clause-arena traffic (bytes allocated/recycled/peak) and total peak
-      checker memory.
+      checker memory; --stats=json emits the same counters as one JSON
+      object (the same serializer the service stats reply uses). Binary
+      traces are detected automatically; --binary stays accepted.
+
+  satproof serve (--socket PATH | --tcp PORT | both) [options]
+      run satproofd, the batch proof-checking daemon (see docs/SERVICE.md)
+      --socket PATH    listen on a unix-domain socket (first-class)
+      --tcp PORT       also listen on 127.0.0.1:PORT (0 = ephemeral)
+      --jobs N         checker worker threads (default: all hardware)
+      --queue N        pending-job capacity before BUSY (default 64)
+      --timeout-ms N   default per-job wall-clock budget (0 = unlimited)
+      --idle-timeout-ms N  drop connections silent this long (default 30000)
+      SIGTERM/SIGINT drain gracefully: running jobs finish, new work is
+      refused, then the daemon exits 0.
+
+  satproof submit <file.cnf> <trace-file> (--socket PATH | --tcp PORT)
+                  [--backend=MODE] [--jobs N] [--wait] [--timeout-ms N]
+      submit one checking job to a running daemon. --backend picks
+      df | bf | hybrid | parallel | drup (default df; drup treats the
+      trace argument as a DRUP proof). --wait blocks for the verdict and
+      exits 0 iff the proof checked out.
+
+  satproof stats (--socket PATH | --tcp PORT)
+      print a running daemon's metrics snapshot as JSON
 
   satproof core <file.cnf> [--minimal] [--iterations N] [-o FILE]
       extract (and optionally minimize) an unsatisfiable core
@@ -485,7 +513,13 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const bool use_hybrid = args.take_flag("--hybrid");
   const bool use_rup = args.take_flag("--rup");
   const bool binary = args.take_flag("--binary");
-  const bool want_stats = args.take_flag("--stats");
+  bool want_stats = args.take_flag("--stats");
+  bool stats_json = false;
+  if (const auto v = args.take_option("--stats")) {
+    if (*v != "json") throw CliError("--stats only supports --stats=json");
+    want_stats = true;
+    stats_json = true;
+  }
   const auto checker_opt = args.take_option("--checker");
   unsigned jobs = 0;
   if (const auto v = args.take_option("--jobs")) {
@@ -507,22 +541,21 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
     throw CliError("--checker expects df, bf, hybrid, rup or parallel");
   }
 
-  const Formula f = dimacs::parse_file(cnf_path);
-  std::ifstream in(trace_path,
-                   binary ? std::ios::in | std::ios::binary : std::ios::in);
-  if (!in) throw CliError("cannot open trace file " + trace_path);
-  std::unique_ptr<trace::TraceReader> reader;
-  if (binary) {
-    // Regular files go through the zero-copy mmap byte source; the stream
-    // above only validated that the trace exists and is readable.
-    in.close();
-    reader = trace::open_binary_trace_file(trace_path);
-  } else {
-    reader = open_trace_reader(in, false);
-  }
-
   util::Timer timer;
   if (mode == "rup") {
+    const Formula f = dimacs::parse_file(cnf_path);
+    std::ifstream in(trace_path,
+                     binary ? std::ios::in | std::ios::binary : std::ios::in);
+    if (!in) throw CliError("cannot open trace file " + trace_path);
+    std::unique_ptr<trace::TraceReader> reader;
+    if (binary) {
+      // Regular files go through the zero-copy mmap byte source; the stream
+      // above only validated that the trace exists and is readable.
+      in.close();
+      reader = trace::open_binary_trace_file(trace_path);
+    } else {
+      reader = open_trace_reader(in, false);
+    }
     const proof::RupResult result = proof::check_trace_rup(f, *reader);
     if (result.ok) {
       out << "VERIFIED (RUP): " << result.clauses_checked
@@ -535,14 +568,14 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
     return kExitError;
   }
 
-  checker::ParallelOptions popts;
-  popts.jobs = jobs;
-  const checker::CheckResult result =
-      mode == "bf"       ? checker::check_breadth_first(f, *reader)
-      : mode == "hybrid" ? checker::check_hybrid(f, *reader)
-      : mode == "parallel"
-          ? checker::check_parallel(f, *reader, popts)
-          : checker::check_depth_first(f, *reader);
+  // The replay backends go through the same dispatch as the service daemon,
+  // so a CLI verdict and a `satproof submit` verdict come from one code path.
+  // Binary traces are detected by their magic; --binary stays accepted as a
+  // no-op for compatibility.
+  const std::optional<service::Backend> backend =
+      service::backend_from_name(mode);
+  const service::JobOutcome result =
+      service::run_check(cnf_path, trace_path, *backend, jobs);
   if (result.ok) {
     if (result.failed_assumption_clause.empty()) {
       out << "VERIFIED: valid resolution proof of unsatisfiability ("
@@ -556,7 +589,9 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
       out << "} (" << result.stats.resolutions << " resolutions, "
           << timer.elapsed_seconds() << "s)\n";
     }
-    if (want_stats) {
+    if (stats_json) {
+      out << service::check_stats_json(result.stats) << "\n";
+    } else if (want_stats) {
       const checker::CheckStats& st = result.stats;
       out << "stats: arena " << st.arena_allocated_bytes
           << " bytes allocated, " << st.arena_recycled_bytes
@@ -613,19 +648,156 @@ int cmd_drup(Args args, std::ostream& out, std::ostream& err) {
   const std::string proof_path = args.next("DRUP proof file");
   args.expect_done();
 
-  const Formula f = dimacs::parse_file(cnf_path);
-  std::ifstream proof(proof_path);
-  if (!proof) throw CliError("cannot open proof file " + proof_path);
   util::Timer timer;
-  const checker::DrupCheckResult res = checker::check_drup(f, proof);
+  const service::JobOutcome res =
+      service::run_check(cnf_path, proof_path, service::Backend::kDrup);
   if (res.ok) {
-    out << "VERIFIED (DRUP): " << res.clauses_checked << " clauses, "
-        << res.deletions << " deletions, " << res.propagations
+    out << "VERIFIED (DRUP): " << res.drup_clauses_checked << " clauses, "
+        << res.drup_deletions << " deletions, " << res.drup_propagations
         << " propagations, " << timer.elapsed_seconds() << "s\n";
     return 0;
   }
   err << "CHECK FAILED: " << res.error << "\n";
   return kExitError;
+}
+
+// ----------------------------------------------------------------- serve
+
+/// Server the signal handler drains; set only while `serve` is running.
+std::atomic<service::Server*> g_signal_server{nullptr};
+
+extern "C" void satproof_handle_drain_signal(int) {
+  service::Server* server = g_signal_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->notify_drain_from_signal();
+}
+
+int cmd_serve(Args args, std::ostream& out, std::ostream&) {
+  service::ServerOptions opts;
+  if (const auto v = args.take_option("--socket")) opts.unix_socket_path = *v;
+  if (const auto v = args.take_option("--tcp")) {
+    opts.enable_tcp = true;
+    opts.tcp_port = static_cast<std::uint16_t>(parse_u64(*v, "--tcp"));
+  }
+  if (const auto v = args.take_option("--jobs")) {
+    opts.jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
+    if (opts.jobs == 0) throw CliError("--jobs must be at least 1");
+  }
+  if (const auto v = args.take_option("--queue")) {
+    opts.queue_capacity = parse_u64(*v, "--queue");
+    if (opts.queue_capacity == 0) throw CliError("--queue must be at least 1");
+  }
+  if (const auto v = args.take_option("--timeout-ms")) {
+    opts.default_timeout_ms =
+        static_cast<std::uint32_t>(parse_u64(*v, "--timeout-ms"));
+  }
+  if (const auto v = args.take_option("--idle-timeout-ms")) {
+    opts.idle_timeout_ms =
+        static_cast<std::uint32_t>(parse_u64(*v, "--idle-timeout-ms"));
+  }
+  args.expect_done();
+  if (opts.unix_socket_path.empty() && !opts.enable_tcp) {
+    throw CliError("serve needs --socket PATH and/or --tcp PORT");
+  }
+
+  service::Server server(opts);
+  server.start();
+  out << "c satproofd listening";
+  if (!opts.unix_socket_path.empty()) {
+    out << " on " << opts.unix_socket_path;
+  }
+  if (opts.enable_tcp) out << " (tcp 127.0.0.1:" << server.tcp_port() << ")";
+  out << ", " << (opts.jobs == 0 ? std::string("hw") :
+                  std::to_string(opts.jobs))
+      << " workers, queue " << opts.queue_capacity << "\n";
+  out.flush();
+
+  g_signal_server.store(&server, std::memory_order_release);
+  std::signal(SIGTERM, &satproof_handle_drain_signal);
+  std::signal(SIGINT, &satproof_handle_drain_signal);
+  server.wait_until_drained();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_signal_server.store(nullptr, std::memory_order_release);
+
+  out << "c satproofd drained: " << server.metrics_json() << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------- submit
+
+service::Client connect_client(Args& args) {
+  const auto socket_path = args.take_option("--socket");
+  const auto tcp_port = args.take_option("--tcp");
+  if (socket_path.has_value() == tcp_port.has_value()) {
+    throw CliError("pick exactly one of --socket PATH or --tcp PORT");
+  }
+  if (socket_path) return service::Client::connect_unix(*socket_path);
+  return service::Client::connect_tcp(
+      static_cast<std::uint16_t>(parse_u64(*tcp_port, "--tcp")));
+}
+
+int cmd_submit(Args args, std::ostream& out, std::ostream& err) {
+  service::Backend backend = service::Backend::kDf;
+  if (const auto v = args.take_option("--backend")) {
+    const auto parsed = service::backend_from_name(*v);
+    if (!parsed) {
+      throw CliError("--backend expects df, bf, hybrid, parallel or drup");
+    }
+    backend = *parsed;
+  }
+  unsigned jobs = 0;
+  if (const auto v = args.take_option("--jobs")) {
+    jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
+  }
+  std::uint32_t timeout_ms = 0;
+  if (const auto v = args.take_option("--timeout-ms")) {
+    timeout_ms = static_cast<std::uint32_t>(parse_u64(*v, "--timeout-ms"));
+  }
+  const bool wait = args.take_flag("--wait");
+  service::Client client = connect_client(args);
+  const std::string cnf_path = args.next("CNF file");
+  const std::string trace_path = args.next("trace file");
+  args.expect_done();
+
+  const service::Client::SubmitReply reply =
+      client.submit(cnf_path, trace_path, backend, wait, jobs, timeout_ms);
+  if (!reply.transport_ok) {
+    err << "error: " << reply.error << "\n";
+    return kExitError;
+  }
+  if (reply.busy) {
+    err << "BUSY: job queue is full, retry later\n";
+    return kExitError;
+  }
+  if (!reply.accepted) {
+    err << "REJECTED: " << reply.error << "\n";
+    return kExitError;
+  }
+  out << "job " << reply.job_id << " accepted\n";
+  if (!wait) return 0;
+  if (!reply.have_result) {
+    err << "error: connection closed before the result arrived\n";
+    return kExitError;
+  }
+  if (reply.status == service::JobStatus::kOk) {
+    out << reply.verdict << "\n";
+    return 0;
+  }
+  err << reply.verdict << "\n";
+  return kExitError;
+}
+
+int cmd_stats(Args args, std::ostream& out, std::ostream& err) {
+  service::Client client = connect_client(args);
+  args.expect_done();
+  std::string error;
+  const std::string json = client.stats_json(&error);
+  if (json.empty()) {
+    err << "error: " << error << "\n";
+    return kExitError;
+  }
+  out << json << "\n";
+  return 0;
 }
 
 // ------------------------------------------------------------ interpolate
@@ -840,6 +1012,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
     if (args[0] == "solve") return cmd_solve(std::move(rest), out, err);
     if (args[0] == "check") return cmd_check(std::move(rest), out, err);
+    if (args[0] == "serve") return cmd_serve(std::move(rest), out, err);
+    if (args[0] == "submit") return cmd_submit(std::move(rest), out, err);
+    if (args[0] == "stats") return cmd_stats(std::move(rest), out, err);
     if (args[0] == "core") return cmd_core(std::move(rest), out, err);
     if (args[0] == "trim") return cmd_trim(std::move(rest), out, err);
     if (args[0] == "drup") return cmd_drup(std::move(rest), out, err);

@@ -20,7 +20,11 @@ inline constexpr int kExitError = 1;
 ///                    [--tracecheck FILE] [--stats] [--model]
 ///                    [--minimize] [--luby] [--no-restarts] [--no-deletion]
 ///                    [--budget N]
-///     satproof check <file.cnf> <trace-file> [--bf] [--binary]
+///     satproof check <file.cnf> <trace-file> [--checker=MODE] [--stats[=json]]
+///     satproof serve (--socket PATH | --tcp PORT) [--jobs N] [--queue N]
+///     satproof submit <file.cnf> <trace-file> (--socket PATH | --tcp PORT)
+///                     [--backend=MODE] [--wait]
+///     satproof stats (--socket PATH | --tcp PORT)
 ///     satproof core  <file.cnf> [--minimal] [--iterations N] [-o FILE]
 ///     satproof gen   <family> <params...> -o FILE
 ///     satproof help
