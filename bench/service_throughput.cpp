@@ -2,17 +2,20 @@
 // unix socket, N concurrent clients submitting wait-mode jobs round-robin
 // over the solved suite, jobs/sec plus client-observed p50/p99 latency.
 //
-//   service_throughput [--quick]
+//   service_throughput [--quick] [--json FILE]
 //
 // Prints one JSON document (recorded in BENCH_service.json). --quick runs
-// the small suite with fewer jobs — the CI-friendly smoke variant.
+// the small suite with fewer jobs — the CI-friendly smoke variant; --json
+// additionally writes the document to FILE for tools/bench_compare.py.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,6 +75,7 @@ double percentile(std::vector<double>& sorted_ms, double p) {
 }
 
 struct RunResult {
+  bool ok = false;
   int clients = 0;
   int jobs = 0;
   double seconds = 0.0;
@@ -79,17 +83,25 @@ struct RunResult {
   double p99_ms = 0.0;
 };
 
+// A failed job must NOT std::exit from inside a worker thread: that skips
+// every TempFile destructor on the main thread and strands the on-disk
+// CNF/trace/socket files in /tmp. Workers record the failure and bail out
+// of their loop; the main thread reports it after joining.
 RunResult run_load(const std::string& socket_path,
                    const std::vector<OnDiskInstance>& work, int clients,
                    int jobs_per_client) {
   std::vector<std::vector<double>> latencies_ms(
       static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::string first_error;
   util::Timer wall;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       service::Client client = service::Client::connect_unix(socket_path);
       for (int j = 0; j < jobs_per_client; ++j) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const OnDiskInstance& inst =
             work[static_cast<std::size_t>(c + j) % work.size()];
         util::Timer timer;
@@ -98,10 +110,13 @@ RunResult run_load(const std::string& socket_path,
             service::Backend::kDf, /*wait=*/true);
         if (!reply.transport_ok ||
             reply.status != service::JobStatus::kOk) {
-          std::cerr << "FATAL: job failed on " << inst.name << ": "
-                    << (reply.error.empty() ? reply.verdict : reply.error)
-                    << "\n";
-          std::exit(1);
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!failed.exchange(true)) {
+            first_error =
+                "job failed on " + inst.name + ": " +
+                (reply.error.empty() ? reply.verdict : reply.error);
+          }
+          return;
         }
         latencies_ms[static_cast<std::size_t>(c)].push_back(
             timer.elapsed_seconds() * 1e3);
@@ -109,8 +124,13 @@ RunResult run_load(const std::string& socket_path,
     });
   }
   for (auto& t : threads) t.join();
+  if (failed.load()) {
+    std::cerr << "FATAL: " << first_error << "\n";
+    return RunResult{};  // ok=false; caller unwinds so RAII cleans up
+  }
 
   RunResult res;
+  res.ok = true;
   res.clients = clients;
   res.seconds = wall.elapsed_seconds();
   std::vector<double> all;
@@ -122,7 +142,7 @@ RunResult run_load(const std::string& socket_path,
   return res;
 }
 
-int run(bool quick) {
+int run(bool quick, const std::string& json_path) {
   // Solve the suite once, then persist every instance as (DIMACS, binary
   // trace) so the service ingests real files through its streaming path.
   const encode::SuiteScale scale =
@@ -151,12 +171,20 @@ int run(bool quick) {
   const int jobs_per_client = quick ? 6 : 16;
 
   // One warmup pass so first-touch costs don't land in run #1.
-  (void)run_load(opts.unix_socket_path, work, 1, 2);
+  if (!run_load(opts.unix_socket_path, work, 1, 2).ok) {
+    server.drain_and_wait();
+    return 1;
+  }
 
   std::vector<RunResult> runs;
   for (const int clients : client_counts) {
-    runs.push_back(
-        run_load(opts.unix_socket_path, work, clients, jobs_per_client));
+    RunResult r =
+        run_load(opts.unix_socket_path, work, clients, jobs_per_client);
+    if (!r.ok) {
+      server.drain_and_wait();
+      return 1;
+    }
+    runs.push_back(r);
   }
   server.drain_and_wait();
 
@@ -196,7 +224,16 @@ int run(bool quick) {
   }
   w.end_array();
   w.end_object();
-  std::cout << w.take() << "\n";
+  const std::string doc = w.take();
+  std::cout << doc << "\n";
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::cerr << "FATAL: cannot open " << json_path << "\n";
+      return 1;
+    }
+    js << doc << "\n";
+  }
   return 0;
 }
 
@@ -205,13 +242,16 @@ int run(bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::cerr << "usage: service_throughput [--quick]\n";
+      std::cerr << "usage: service_throughput [--quick] [--json FILE]\n";
       return 1;
     }
   }
-  return satproof::run(quick);
+  return satproof::run(quick, json_path);
 }

@@ -10,18 +10,36 @@
 // file, as zchaff did.
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "src/encode/suite.hpp"
+#include "src/obs/trace.hpp"
 #include "src/solver/solver.hpp"
 #include "src/trace/ascii.hpp"
 #include "src/util/table.hpp"
 #include "src/util/temp_file.hpp"
 #include "src/util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace satproof;
+
+  // --trace-out FILE: record per-instance solve spans under an
+  // obs::TraceSession and write the Chrome-trace JSON artifact.
+  std::string trace_out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else {
+      std::cerr << "usage: table1_trace_overhead [--trace-out FILE]\n";
+      return 1;
+    }
+  }
+  std::optional<obs::TraceSession> trace_session;
+  if (!trace_out_path.empty()) trace_session.emplace();
 
   util::Table table({"Instance", "Family", "Num. Vars", "Orig. Cls",
                      "Learned Cls", "Trace Off (s)", "Trace On (s)",
@@ -38,6 +56,7 @@ int main() {
     // Trace off: exactly the plain solver.
     double secs_off = 1e100;
     for (int run = 0; run < kRuns; ++run) {
+      obs::Span span("solve_trace_off");
       solver::Solver off;
       off.add_formula(inst.formula);
       util::Timer t_off;
@@ -52,6 +71,7 @@ int main() {
     double secs_on = 1e100;
     std::uint64_t learned = 0;
     for (int run = 0; run < kRuns; ++run) {
+      obs::Span span("solve_trace_on");
       util::TempFile trace_file("table1-trace");
       std::ofstream out(trace_file.path());
       trace::AsciiTraceWriter writer(out);
@@ -83,5 +103,14 @@ int main() {
             << util::format_double(total_off, 2) << "s, trace on "
             << util::format_double(total_on, 2) << "s, overall overhead "
             << util::format_percent(total_on - total_off, total_off) << "\n";
+
+  if (trace_session) {
+    obs::flush_this_thread();
+    if (!trace_session->sink().write_file(trace_out_path)) {
+      std::cerr << "FATAL: cannot write trace " << trace_out_path << "\n";
+      return 1;
+    }
+    std::cout << "Chrome trace written to " << trace_out_path << "\n";
+  }
   return 0;
 }

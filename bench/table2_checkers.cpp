@@ -17,16 +17,25 @@
 // are inside the measurement.
 //
 // usage: table2_checkers [--quick] [--json FILE] [--baseline FILE]
+//                        [--trace-out FILE]
 //   --quick      run the Small suite (CI smoke; seconds in total)
-//   --json FILE  write the measurements as JSON
+//   --json FILE  write the measurements as JSON; also measures the cost of
+//                span tracing (an extra DF sweep with a live TraceSession)
+//                and records it as the "tracing_overhead" block
 //   --baseline FILE
 //                embed a previous --json run as the "baseline" block and
 //                emit a baseline-vs-current comparison (DF speedup, peak
 //                reduction)
+//   --trace-out FILE
+//                record the whole run under an obs::TraceSession and write
+//                the Chrome-trace JSON (per-stage checker spans) to FILE.
+//                Note: this keeps tracing live during the timed runs, so
+//                don't combine an artifact run with a regression-gate run.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +44,7 @@
 #include "src/checker/depth_first.hpp"
 #include "src/checker/hybrid.hpp"
 #include "src/encode/suite.hpp"
+#include "src/obs/trace.hpp"
 #include "src/solver/solver.hpp"
 #include "src/trace/binary.hpp"
 #include "src/util/table.hpp"
@@ -113,7 +123,7 @@ double extract_number(const std::string& text, const std::string& key) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path, baseline_path;
+  std::string json_path, baseline_path, trace_out_path;
   auto scale = encode::SuiteScale::Standard;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -123,16 +133,28 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_path = argv[++i];
     } else {
       std::cerr << "usage: table2_checkers [--quick] [--json FILE] "
-                   "[--baseline FILE]\n";
+                   "[--baseline FILE] [--trace-out FILE]\n";
       return 1;
     }
   }
 
+  std::optional<obs::TraceSession> trace_session;
+  if (!trace_out_path.empty()) trace_session.emplace();
+
   util::Table table({"Instance", "Trace (KB)", "Solve (s)", "DF Cls Built",
                      "Built%", "DF Time (s)", "DF Peak (KB)", "BF Time (s)",
                      "BF Peak (KB)", "HY Time (s)", "HY Peak (KB)"});
+
+  // Tracing-overhead probe: when emitting JSON (and not already recording
+  // a --trace-out artifact), re-time the DF sweep with a live TraceSession
+  // so BENCH_checkers.json documents what span recording costs. The main
+  // table numbers are the tracing-disabled configuration.
+  const bool measure_overhead = !json_path.empty() && !trace_session;
+  double traced_df_secs = 0.0;
 
   std::vector<InstanceNumbers> rows;
   for (const auto& inst : encode::unsat_suite(scale)) {
@@ -170,6 +192,16 @@ int main(int argc, char** argv) {
                               [&](trace::TraceReader& r) {
                                 return checker::check_hybrid(inst.formula, r);
                               });
+    if (measure_overhead) {
+      obs::TraceSession probe;
+      const BackendNumbers traced =
+          time_backend(path, "depth-first (traced)", inst.name,
+                       [&](trace::TraceReader& r) {
+                         return checker::check_depth_first(inst.formula, r);
+                       });
+      obs::flush_this_thread();
+      traced_df_secs += traced.seconds;
+    }
 
     const auto& df = row.df.result;
     table.add_row(
@@ -194,6 +226,15 @@ int main(int argc, char** argv) {
       << " HY columns: the hybrid checker the paper's conclusion calls for —\n"
       << " builds only the DF subgraph inside a BF-style clause window)\n\n"
       << table.to_string();
+
+  if (trace_session) {
+    obs::flush_this_thread();
+    if (!trace_session->sink().write_file(trace_out_path)) {
+      std::cerr << "FATAL: cannot write trace " << trace_out_path << "\n";
+      return 1;
+    }
+    std::cout << "\nChrome trace written to " << trace_out_path << "\n";
+  }
 
   if (json_path.empty()) return 0;
 
@@ -240,6 +281,14 @@ int main(int argc, char** argv) {
   }
   js << "{\n  \"bench\": \"table2_checkers\",\n  \"arena\": "
      << current.str();
+
+  if (measure_overhead) {
+    js << ",\n  \"tracing_overhead\": {\"df_seconds_disabled\": " << df_secs
+       << ", \"df_seconds_traced\": " << traced_df_secs
+       << ", \"traced_overhead_pct\": "
+       << (df_secs > 0 ? (traced_df_secs - df_secs) / df_secs * 100.0 : 0.0)
+       << "}";
+  }
 
   if (!baseline_path.empty()) {
     std::ifstream bl(baseline_path);

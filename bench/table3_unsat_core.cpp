@@ -11,14 +11,32 @@
 // smaller than the original formula. Like the paper (which omits its
 // hardest rows here), instances flagged core_iteration = false are skipped.
 
+#include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "src/core/unsat_core.hpp"
 #include "src/encode/suite.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace satproof;
+
+  // --trace-out FILE: record the per-instance core iterations (and the
+  // checker stage spans inside them) and write the Chrome-trace JSON.
+  std::string trace_out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
+    } else {
+      std::cerr << "usage: table3_unsat_core [--trace-out FILE]\n";
+      return 1;
+    }
+  }
+  std::optional<obs::TraceSession> trace_session;
+  if (!trace_out_path.empty()) trace_session.emplace();
 
   util::Table table({"Instance", "Orig Cls", "Orig Vars", "1st-Iter Cls",
                      "1st-Iter Vars", "Final Cls", "Final Vars", "Iters",
@@ -26,6 +44,7 @@ int main() {
 
   for (const auto& inst : encode::unsat_suite(encode::SuiteScale::Standard)) {
     if (!inst.core_iteration) continue;
+    obs::Span span("core_iteration");
     const core::CoreIteration it = core::iterate_core(inst.formula, 30);
     if (!it.ok) {
       std::cerr << "FATAL: core iteration failed on " << inst.name << ": "
@@ -50,5 +69,14 @@ int main() {
             << "(paper: cores shrink across iterations; planning/routing "
                "cores << original)\n\n"
             << table.to_string();
+
+  if (trace_session) {
+    obs::flush_this_thread();
+    if (!trace_session->sink().write_file(trace_out_path)) {
+      std::cerr << "FATAL: cannot write trace " << trace_out_path << "\n";
+      return 1;
+    }
+    std::cout << "Chrome trace written to " << trace_out_path << "\n";
+  }
   return 0;
 }

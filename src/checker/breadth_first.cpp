@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/obs/trace.hpp"
+
 namespace satproof::checker {
 
 namespace {
@@ -21,8 +23,14 @@ class BreadthFirstChecker {
     CheckResult result;
     try {
       check_header(*formula_, reader_->num_vars(), reader_->num_original());
-      scan_pass();
-      counting_pass();
+      {
+        obs::Span span("parse");
+        scan_pass();
+      }
+      {
+        obs::Span span("use_count");
+        counting_pass();
+      }
       if (!final_id_.has_value()) {
         throw CheckFailure(
             "trace has no final conflicting clause; it does not claim "
@@ -30,12 +38,18 @@ class BreadthFirstChecker {
       }
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
-      resolution_pass();
+      {
+        obs::Span span("replay");
+        resolution_pass();
+      }
       const ClauseFetcher fetch = [this](ClauseId id) {
         return fetch_clause(id);
       };
-      SortedClause remaining =
-          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      SortedClause remaining;
+      {
+        obs::Span span("final_derivation");
+        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+      }
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
         result.failed_assumption_clause = std::move(remaining);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/obs/trace.hpp"
+
 namespace satproof::checker {
 
 namespace {
@@ -67,6 +69,9 @@ std::optional<ClauseId> load_full_trace(trace::TraceReader& reader,
                                         Level0Table& level0,
                                         util::MemTracker& mem,
                                         CheckStats& stats) {
+  // Parsing and derivation-index construction share this streaming loop,
+  // so one span covers both; backends add their own index/replay spans.
+  obs::Span span("parse");
   reader.rewind();
   std::optional<ClauseId> final_id;
   trace::Record rec;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/obs/trace.hpp"
+
 namespace satproof::checker {
 
 namespace {
@@ -26,13 +28,19 @@ class DepthFirstChecker {
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
-      store_.reserve(std::max<ClauseId>(num_original(),
-                                        derivations_.num_records() != 0
-                                            ? derivations_.max_id() + 1
-                                            : 0));
+      {
+        obs::Span span("index");
+        store_.reserve(std::max<ClauseId>(num_original(),
+                                          derivations_.num_records() != 0
+                                              ? derivations_.max_id() + 1
+                                              : 0));
+      }
       const ClauseFetcher fetch = [this](ClauseId id) { return build(id); };
-      SortedClause remaining =
-          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      SortedClause remaining;
+      {
+        obs::Span replay_span("replay");
+        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+      }
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
         result.failed_assumption_clause = std::move(remaining);
@@ -50,6 +58,7 @@ class DepthFirstChecker {
     stats_.arena_allocated_bytes = arena.allocated_bytes();
     stats_.arena_recycled_bytes = arena.recycled_bytes();
     stats_.arena_peak_bytes = arena.peak_bytes();
+    obs::Span core_span("core");
     // The ref table is ID-ordered, so one ascending scan of the original-ID
     // prefix yields the core already sorted.
     const ClauseId originals =

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/checker/resolution.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/arena.hpp"
 
 namespace satproof::checker {
@@ -247,6 +248,7 @@ DrupCheckResult check_drup(const Formula& f, std::istream& proof) {
   };
   std::vector<Line> lines;
   std::string text;
+  obs::Span parse_span_holder("parse");
   while (std::getline(proof, text)) {
     if (text.empty() || text[0] == 'c') continue;
     std::istringstream ls(text);
@@ -277,13 +279,18 @@ DrupCheckResult check_drup(const Formula& f, std::istream& proof) {
     line.lits = canonicalize(raw);
     lines.push_back(std::move(line));
   }
+  parse_span_holder.finish();
 
   DrupEngine engine(num_vars);
-  for (ClauseId id = 0; id < f.num_clauses(); ++id) {
-    const SortedClause canon = canonicalize(f.clause(id));
-    if (!is_tautology(canon)) engine.add_clause(canon);
+  {
+    obs::Span span("index");
+    for (ClauseId id = 0; id < f.num_clauses(); ++id) {
+      const SortedClause canon = canonicalize(f.clause(id));
+      if (!is_tautology(canon)) engine.add_clause(canon);
+    }
   }
 
+  obs::Span replay_span("replay");
   for (const Line& line : lines) {
     if (line.deletion) {
       if (!engine.delete_clause(line.lits)) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <optional>
 
+#include "src/obs/trace.hpp"
+
 namespace satproof::checker {
 
 namespace {
@@ -21,21 +23,33 @@ class HybridChecker {
     CheckResult result;
     try {
       check_header(*formula_, reader_->num_vars(), reader_->num_original());
-      scan_structure();
+      {
+        obs::Span span("parse");
+        scan_structure();
+      }
       if (!final_id_.has_value()) {
         throw CheckFailure(
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
-      mark_reachable_and_count();
+      {
+        obs::Span span("index");
+        mark_reachable_and_count();
+      }
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
-      replay_reachable();
+      {
+        obs::Span span("replay");
+        replay_reachable();
+      }
       const ClauseFetcher fetch = [this](ClauseId id) {
         return fetch_clause(id);
       };
-      SortedClause remaining =
-          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      SortedClause remaining;
+      {
+        obs::Span span("final_derivation");
+        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+      }
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
         result.failed_assumption_clause = std::move(remaining);

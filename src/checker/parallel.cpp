@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace satproof::checker {
@@ -40,15 +41,22 @@ class ParallelChecker {
       // Slot table over the dense ID space [0, max derived ID]. C++20
       // value-initializes the atomics to nullptr. Each slot holds the
       // arena block pointer of the published clause (header + literals).
-      slots_ = std::vector<std::atomic<const Lit*>>(
-          std::max<ClauseId>(num_original(), derivations_.num_records() != 0
-                                                 ? derivations_.max_id() + 1
-                                                 : 0));
+      {
+        obs::Span span("index");
+        slots_ = std::vector<std::atomic<const Lit*>>(
+            std::max<ClauseId>(num_original(),
+                               derivations_.num_records() != 0
+                                   ? derivations_.max_id() + 1
+                                   : 0));
+      }
       const ClauseFetcher fetch = [this](ClauseId id) {
         return ensure_built(id);
       };
-      SortedClause remaining =
-          derive_final_clause(*final_id_, fetch, level0_, stats_);
+      SortedClause remaining;
+      {
+        obs::Span span("replay");
+        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+      }
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
         result.failed_assumption_clause = std::move(remaining);
@@ -74,6 +82,7 @@ class ParallelChecker {
     stats_.peak_mem_bytes = mem_.peak_bytes() + arena_peak;
     stats_.core_original_clauses = originals_built_;
     result.stats = stats_;
+    obs::Span core_span("core");
     if (result.ok && options.collect_core) {
       // Published original IDs, ascending — the same set the depth-first
       // checker memoizes, so the core is byte-identical to its sorted list.
@@ -167,6 +176,7 @@ class ParallelChecker {
 
   void run_wave(const std::vector<ClauseId>& wave) {
     if (wave.empty()) return;
+    obs::Span span("wave");
     const std::size_t num_chunks =
         std::min<std::size_t>(jobs_, wave.size());
     // Chunk i always writes into shard i; waves are barrier-separated, so

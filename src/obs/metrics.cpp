@@ -1,0 +1,137 @@
+#include "src/obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/json.hpp"
+
+namespace satproof::obs {
+namespace {
+
+/// Prometheus sample values are floats; counters here are u64, which stays
+/// exact up to 2^53 — plenty for span/resolution counts.
+void append_sample(std::string& out, const std::string& name, double value) {
+  out += name;
+  out += ' ';
+  if (value == static_cast<double>(static_cast<std::uint64_t>(value)) &&
+      value >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+  }
+  out += '\n';
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) {
+    if (c.name() == name) return c;
+  }
+  counters_.emplace_back(name, help);
+  return counters_.back();
+}
+
+void MetricsRegistry::register_gauge(const std::string& name,
+                                     const std::string& help,
+                                     std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Gauge& g : gauges_) {
+    if (g.name == name) {
+      g.help = help;
+      g.fn = std::move(fn);
+      return;
+    }
+  }
+  gauges_.push_back(Gauge{name, help, std::move(fn)});
+}
+
+void MetricsRegistry::unregister_gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = gauges_.begin(); it != gauges_.end(); ++it) {
+    if (it->name == name) {
+      gauges_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Counter& c : counters_) {
+    append_header(out, c.name(), c.help(), "counter");
+    append_sample(out, c.name(), static_cast<double>(c.value()));
+  }
+  for (const Gauge& g : gauges_) {
+    append_header(out, g.name, g.help, "gauge");
+    double v = g.fn ? g.fn() : 0.0;
+    if (!std::isfinite(v)) v = 0.0;
+    append_sample(out, g.name, v);
+  }
+  return out;
+}
+
+void MetricsRegistry::to_json(util::JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Counter& c : counters_) {
+    w.key(c.name());
+    w.value(c.value());
+  }
+  for (const Gauge& g : gauges_) {
+    w.key(g.name);
+    double v = g.fn ? g.fn() : 0.0;
+    if (!std::isfinite(v)) v = 0.0;
+    w.value(v);
+  }
+}
+
+CheckerCounters& CheckerCounters::get() {
+  static CheckerCounters counters{
+      MetricsRegistry::instance().counter(
+          "satproof_derivations_total",
+          "Trace derivation records processed by checker runs."),
+      MetricsRegistry::instance().counter(
+          "satproof_clauses_built_total",
+          "Clauses materialized while replaying resolution proofs."),
+      MetricsRegistry::instance().counter(
+          "satproof_resolutions_total",
+          "Pairwise resolution operations performed by checker runs."),
+      MetricsRegistry::instance().counter(
+          "satproof_arena_allocated_bytes_total",
+          "Bytes handed out by clause arenas across checker runs."),
+      MetricsRegistry::instance().counter(
+          "satproof_drup_propagations_total",
+          "Unit propagations performed by DRUP (RUP) checks."),
+      MetricsRegistry::instance().counter(
+          "satproof_checks_total", "Proof-check runs completed."),
+  };
+  return counters;
+}
+
+}  // namespace satproof::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace satproof::util {
+class JsonWriter;
+}
+
+namespace satproof::obs {
+
+/// Monotonically increasing counter. Counters are created once via
+/// `MetricsRegistry::counter` and bumped lock-free afterwards.
+class Counter {
+ public:
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& help() const { return help_; }
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Process-global registry of counters and callback gauges, serialized by
+/// `satproof check --stats=json` and by satproofd's Prometheus endpoint.
+///
+/// Counter names follow Prometheus conventions: `snake_case`, a
+/// `satproof_` prefix, `_total` suffix for counters, unit suffixes
+/// (`_bytes`) where applicable.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Finds or creates the named counter. The returned reference is stable
+  /// for the process lifetime — cache it, don't re-look-up on hot paths.
+  Counter& counter(const std::string& name, const std::string& help);
+
+  /// Registers a gauge whose value is sampled at render time. Re-using a
+  /// name replaces the callback (e.g. a restarted server).
+  void register_gauge(const std::string& name, const std::string& help,
+                      std::function<double()> fn);
+  void unregister_gauge(const std::string& name);
+
+  /// Prometheus text exposition (HELP/TYPE comments + samples).
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// Emits `"name":value` pairs into an already-open JSON object.
+  void to_json(util::JsonWriter& w) const;
+
+ private:
+  struct Gauge {
+    std::string name;
+    std::string help;
+    std::function<double()> fn;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;  // deque: stable addresses on growth
+  std::vector<Gauge> gauges_;
+};
+
+/// Well-known counters bumped by the checking paths. Grouped here so the
+/// names stay consistent between backends, docs, and tests.
+struct CheckerCounters {
+  Counter& derivations;
+  Counter& clauses_built;
+  Counter& resolutions;
+  Counter& arena_allocated_bytes;
+  Counter& drup_propagations;
+  Counter& checks_total;
+
+  static CheckerCounters& get();
+};
+
+}  // namespace satproof::obs

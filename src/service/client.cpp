@@ -127,4 +127,18 @@ std::string Client::stats_json(std::string* error) {
   return std::string(frame.payload.begin(), frame.payload.end());
 }
 
+std::string Client::stats_prometheus(std::string* error) {
+  if (!write_frame(sock_, FrameTag::kStatsProm)) {
+    if (error != nullptr) *error = "transport error sending stats request";
+    return "";
+  }
+  Frame frame;
+  if (read_frame(sock_, frame) != ReadStatus::kFrame ||
+      frame.tag != FrameTag::kStatsPromText) {
+    if (error != nullptr) *error = "connection lost waiting for stats";
+    return "";
+  }
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
 }  // namespace satproof::service

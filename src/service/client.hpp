@@ -46,6 +46,10 @@ class Client {
   /// Requests a metrics snapshot; empty string + `error` filled on failure.
   std::string stats_json(std::string* error = nullptr);
 
+  /// Requests the snapshot in Prometheus text exposition format; empty
+  /// string + `error` filled on failure.
+  std::string stats_prometheus(std::string* error = nullptr);
+
   /// Raw socket access for protocol tests.
   [[nodiscard]] util::Socket& socket() { return sock_; }
 

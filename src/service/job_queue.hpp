@@ -25,6 +25,9 @@ struct JobRequest {
   util::TempFile cnf_file;
   util::TempFile trace_file;
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Upload duration (SUBMIT to SUBMIT_END) on the connection thread,
+  /// carried along so the job's span tree can include the ingest stage.
+  std::uint64_t ingest_us = 0;
 };
 
 /// Completion rendezvous between the worker that runs a job and the

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/json.hpp"
 
 namespace satproof::service {
@@ -73,6 +75,11 @@ void Metrics::on_timeout(Backend backend) {
   ++backends_[static_cast<std::size_t>(backend)].timed_out;
 }
 
+void Metrics::on_slow_job() {
+  std::lock_guard lock(mutex_);
+  ++slow_jobs_;
+}
+
 std::string Metrics::to_json(std::size_t queue_depth,
                              std::size_t queue_capacity,
                              std::size_t running_jobs) const {
@@ -92,6 +99,8 @@ std::string Metrics::to_json(std::size_t queue_depth,
   w.value(failed_);
   w.key("timed_out");
   w.value(timed_out_);
+  w.key("slow");
+  w.value(slow_jobs_);
   w.end_object();
 
   w.key("queue");
@@ -146,6 +155,130 @@ std::string Metrics::to_json(std::size_t queue_depth,
 
   w.end_object();
   return w.take();
+}
+
+namespace {
+
+void prom_header(std::string& out, const char* name, const char* help,
+                 const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void prom_value(std::string& out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v)) && v >= 0) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+  out += '\n';
+}
+
+void prom_sample(std::string& out, const char* name, const char* help,
+                 const char* type, double v) {
+  prom_header(out, name, help, type);
+  out += name;
+  out += ' ';
+  prom_value(out, v);
+}
+
+void prom_labeled(std::string& out, const char* name, const char* backend,
+                  double v) {
+  out += name;
+  out += "{backend=\"";
+  out += backend;
+  out += "\"} ";
+  prom_value(out, v);
+}
+
+}  // namespace
+
+std::string Metrics::to_prometheus(std::size_t queue_depth,
+                                   std::size_t queue_capacity,
+                                   std::size_t running_jobs) const {
+  std::string out;
+  {
+    std::lock_guard lock(mutex_);
+    prom_sample(out, "satproofd_connections_total",
+                "Client connections accepted.", "counter",
+                static_cast<double>(connections_));
+    prom_sample(out, "satproofd_malformed_frames_total",
+                "Protocol frames rejected as malformed.", "counter",
+                static_cast<double>(malformed_frames_));
+    prom_sample(out, "satproofd_jobs_accepted_total",
+                "Jobs admitted to the queue.", "counter",
+                static_cast<double>(accepted_));
+    prom_sample(out, "satproofd_jobs_rejected_busy_total",
+                "Jobs rejected with BUSY backpressure.", "counter",
+                static_cast<double>(rejected_busy_));
+    prom_sample(out, "satproofd_jobs_completed_total",
+                "Jobs that delivered a verdict.", "counter",
+                static_cast<double>(completed_));
+    prom_sample(out, "satproofd_jobs_failed_total",
+                "Jobs whose verdict was not ok.", "counter",
+                static_cast<double>(failed_));
+    prom_sample(out, "satproofd_jobs_timed_out_total",
+                "Jobs cancelled at their wall-clock deadline.", "counter",
+                static_cast<double>(timed_out_));
+    prom_sample(out, "satproofd_slow_jobs_total",
+                "Jobs exceeding the --slow-job-ms threshold.", "counter",
+                static_cast<double>(slow_jobs_));
+    prom_sample(out, "satproofd_arena_peak_bytes",
+                "Largest clause-arena peak observed over completed jobs.",
+                "gauge", static_cast<double>(arena_peak_bytes_));
+    prom_sample(out, "satproofd_queue_depth", "Jobs waiting in the queue.",
+                "gauge", static_cast<double>(queue_depth));
+    prom_sample(out, "satproofd_queue_capacity",
+                "Configured queue capacity.", "gauge",
+                static_cast<double>(queue_capacity));
+    prom_sample(out, "satproofd_running_jobs",
+                "Jobs currently executing.", "gauge",
+                static_cast<double>(running_jobs));
+
+    prom_header(out, "satproofd_backend_jobs_completed_total",
+                "Jobs completed, by checker backend.", "counter");
+    for (std::uint8_t b = 0; b < kNumBackends; ++b) {
+      prom_labeled(out, "satproofd_backend_jobs_completed_total",
+                   backend_name(static_cast<Backend>(b)),
+                   static_cast<double>(backends_[b].completed));
+    }
+    prom_header(out, "satproofd_backend_jobs_failed_total",
+                "Jobs with a non-ok verdict, by checker backend.", "counter");
+    for (std::uint8_t b = 0; b < kNumBackends; ++b) {
+      prom_labeled(out, "satproofd_backend_jobs_failed_total",
+                   backend_name(static_cast<Backend>(b)),
+                   static_cast<double>(backends_[b].failed));
+    }
+    prom_header(out, "satproofd_backend_jobs_timed_out_total",
+                "Jobs timed out, by checker backend.", "counter");
+    for (std::uint8_t b = 0; b < kNumBackends; ++b) {
+      prom_labeled(out, "satproofd_backend_jobs_timed_out_total",
+                   backend_name(static_cast<Backend>(b)),
+                   static_cast<double>(backends_[b].timed_out));
+    }
+    prom_header(out, "satproofd_backend_latency_p99_ms",
+                "Estimated p99 job latency in milliseconds, by backend.",
+                "gauge");
+    for (std::uint8_t b = 0; b < kNumBackends; ++b) {
+      prom_labeled(out, "satproofd_backend_latency_p99_ms",
+                   backend_name(static_cast<Backend>(b)),
+                   backends_[b].latency.percentile_ms(99));
+    }
+  }
+  // Process-wide checker counters (resolutions, clauses built, ...) are
+  // registered in the global registry by run_check.
+  out += obs::MetricsRegistry::instance().render_prometheus();
+  return out;
 }
 
 }  // namespace satproof::service

@@ -50,12 +50,21 @@ class Metrics {
   void on_completed(Backend backend, double seconds, bool ok,
                     std::size_t arena_peak_bytes);
   void on_timeout(Backend backend);
+  /// Records one job whose wall time exceeded the --slow-job-ms threshold
+  /// (the span-tree dump accompanies it on stderr).
+  void on_slow_job();
 
   /// Structured snapshot: jobs accepted/rejected/completed/failed,
   /// per-backend latency percentiles, queue gauges, arena peak.
   [[nodiscard]] std::string to_json(std::size_t queue_depth,
                                     std::size_t queue_capacity,
                                     std::size_t running_jobs) const;
+
+  /// The same snapshot in Prometheus text exposition format
+  /// (`satproofd_*` series plus the process-wide obs::MetricsRegistry).
+  [[nodiscard]] std::string to_prometheus(std::size_t queue_depth,
+                                          std::size_t queue_capacity,
+                                          std::size_t running_jobs) const;
 
  private:
   struct BackendCounters {
@@ -73,6 +82,7 @@ class Metrics {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t timed_out_ = 0;
+  std::uint64_t slow_jobs_ = 0;
   std::size_t arena_peak_bytes_ = 0;  ///< max over all completed jobs
   std::array<BackendCounters, kNumBackends> backends_{};
 };

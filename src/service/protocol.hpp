@@ -31,6 +31,8 @@ namespace satproof::service {
 ///            If the header's wait flag is set, one kResult frame follows
 ///            when the job finishes.
 ///   stats:   kStats with empty payload; server replies kStatsJson.
+///            kStatsProm requests the same snapshot in Prometheus text
+///            exposition format; server replies kStatsPromText.
 ///
 /// Any protocol violation gets a typed kError frame (when the transport
 /// still works) followed by connection close; the server never crashes or
@@ -46,6 +48,7 @@ enum class FrameTag : std::uint8_t {
   kTraceData = 0x03,  ///< raw trace/DRUP-proof bytes (chunk)
   kSubmitEnd = 0x04,  ///< empty payload; enqueue the job
   kStats = 0x05,      ///< empty payload; request a metrics snapshot
+  kStatsProm = 0x06,  ///< empty payload; request Prometheus exposition
 
   // server -> client
   kAccepted = 0x81,   ///< u64 job id
@@ -53,6 +56,7 @@ enum class FrameTag : std::uint8_t {
   kResult = 0x83,     ///< ResultHeader + verdict + JSON (see below)
   kStatsJson = 0x84,  ///< UTF-8 JSON document
   kError = 0x85,      ///< u8 ErrorCode + UTF-8 message
+  kStatsPromText = 0x86,  ///< UTF-8 Prometheus text exposition
 };
 
 enum class ErrorCode : std::uint8_t {

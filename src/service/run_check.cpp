@@ -9,6 +9,8 @@
 #include "src/checker/hybrid.hpp"
 #include "src/checker/parallel.hpp"
 #include "src/cnf/dimacs.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/trace/ascii.hpp"
 #include "src/trace/binary.hpp"
 #include "src/util/json.hpp"
@@ -140,14 +142,30 @@ bool is_binary_trace(const std::string& path) {
          magic[2] == 'R' && magic[3] == 'F';
 }
 
+/// Folds one finished run's stats into the process-wide registry. Done
+/// once per check (not on the replay hot path), so the counters cost
+/// nothing while the proof is being verified.
+void bump_global_counters(const JobOutcome& out) {
+  obs::CheckerCounters& c = obs::CheckerCounters::get();
+  c.checks_total.inc();
+  c.derivations.inc(out.stats.total_derivations);
+  c.clauses_built.inc(out.stats.clauses_built);
+  c.resolutions.inc(out.stats.resolutions);
+  c.arena_allocated_bytes.inc(out.stats.arena_allocated_bytes);
+  c.drup_propagations.inc(out.drup_propagations);
+}
+
 }  // namespace
 
 JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
                      Backend backend, unsigned jobs) {
+  obs::Span check_span("check");
   JobOutcome out;
   out.backend = backend;
   try {
+    obs::Span load_span("load_formula");
     const Formula f = dimacs::parse_file(cnf_path);
+    load_span.finish();
 
     if (backend == Backend::kDrup) {
       std::ifstream proof(trace_path);
@@ -158,6 +176,7 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
       out.drup_clauses_checked = res.clauses_checked;
       out.drup_deletions = res.deletions;
       out.drup_propagations = res.propagations;
+      bump_global_counters(out);
       return out;
     }
 
@@ -198,6 +217,7 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
     out.ok = false;
     out.error = e.what();
   }
+  bump_global_counters(out);
   return out;
 }
 

@@ -1,10 +1,13 @@
 #include "src/service/server.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
+
+#include "src/obs/trace.hpp"
 
 namespace satproof::service {
 
@@ -18,6 +21,7 @@ using Clock = std::chrono::steady_clock;
 struct UploadState {
   bool active = false;
   SubmitHeader header;
+  std::uint64_t ingest_start_us = 0;
   std::optional<util::TempFile> cnf_file;
   std::optional<util::TempFile> trace_file;
   std::ofstream cnf_out;
@@ -25,6 +29,7 @@ struct UploadState {
 
   void begin(const SubmitHeader& h) {
     header = h;
+    ingest_start_us = obs::now_us();
     cnf_file.emplace("svc-cnf");
     trace_file.emplace("svc-trace");
     cnf_out.open(cnf_file->path(), std::ios::out | std::ios::binary);
@@ -88,6 +93,11 @@ void Server::drain_and_wait() {
 std::string Server::metrics_json() const {
   return metrics_.to_json(queue_.depth(), queue_.capacity(),
                           running_jobs_.load());
+}
+
+std::string Server::metrics_prometheus() const {
+  return metrics_.to_prometheus(queue_.depth(), queue_.capacity(),
+                                running_jobs_.load());
 }
 
 void Server::listener_loop() {
@@ -267,6 +277,8 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
       request.cnf_file = std::move(*upload.cnf_file);
       request.trace_file = std::move(*upload.trace_file);
       request.enqueued_at = Clock::now();
+      request.ingest_us = obs::now_us() - upload.ingest_start_us;
+      obs::emit("ingest", upload.ingest_start_us, request.ingest_us);
       const std::uint64_t job_id = request.id;
       const bool wait = (upload.header.flags & kSubmitFlagWait) != 0;
       upload.reset();
@@ -305,6 +317,7 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
                                  : ticket->outcome.ok
                                      ? JobStatus::kOk
                                      : JobStatus::kCheckFailed;
+        obs::Span respond_span("respond");
         const std::vector<std::uint8_t> result = encode_result(
             status, job_id, verdict_line(ticket->outcome),
             outcome_json(ticket->outcome));
@@ -319,6 +332,15 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
                               "STATS during an upload");
       }
       return write_frame(sock, FrameTag::kStatsJson, metrics_json());
+    }
+
+    case FrameTag::kStatsProm: {
+      if (upload.active) {
+        return protocol_error(ErrorCode::kProtocolViolation,
+                              "STATS_PROM during an upload");
+      }
+      return write_frame(sock, FrameTag::kStatsPromText,
+                         metrics_prometheus());
     }
 
     default:
@@ -341,6 +363,23 @@ void Server::run_one_job() {
   const auto deadline =
       request.enqueued_at + std::chrono::milliseconds(request.timeout_ms);
 
+  // Per-job span profile. Only collected when --slow-job-ms is set; the
+  // collector is thread-local, so spans from the parallel backend's pool
+  // threads land in the global trace sink (if any) but not in this tree.
+  const bool profile = options_.slow_job_ms > 0;
+  obs::SpanTreeCollector collector;
+  if (profile) {
+    obs::set_thread_collector(&collector);
+    if (request.ingest_us > 0) {
+      collector.add_leaf("ingest", 0, request.ingest_us);
+    }
+    const auto wait_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start - request.enqueued_at)
+            .count());
+    collector.add_leaf("queue_wait", obs::now_us() - wait_us, wait_us);
+  }
+
   JobOutcome outcome;
   bool timed_out = false;
   if (has_deadline && start >= deadline) {
@@ -350,9 +389,11 @@ void Server::run_one_job() {
     outcome.error = "job timed out waiting in the queue";
     timed_out = true;
   } else {
+    obs::Span run_span("run");
     outcome = run_check(request.cnf_file.path().string(),
                         request.trace_file.path().string(), request.backend,
                         request.jobs);
+    run_span.finish();
     if (has_deadline && Clock::now() > deadline) {
       // Soft timeout: checking is not preemptible, so an overlong job is
       // reported as timed out after the fact (docs/SERVICE.md).
@@ -361,6 +402,21 @@ void Server::run_one_job() {
   }
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (profile) {
+    obs::set_thread_collector(nullptr);
+    if (seconds * 1e3 > static_cast<double>(options_.slow_job_ms)) {
+      metrics_.on_slow_job();
+      // One buffered write so concurrent workers' dumps don't interleave.
+      std::string dump = "SLOW-JOB: id=" + std::to_string(request.id) +
+                         " backend=" + backend_name(request.backend) +
+                         " wall_ms=" + std::to_string(seconds * 1e3) +
+                         " threshold_ms=" +
+                         std::to_string(options_.slow_job_ms) + "\n" +
+                         collector.render();
+      std::fputs(dump.c_str(), stderr);
+    }
+  }
 
   if (timed_out) {
     metrics_.on_timeout(request.backend);

@@ -33,6 +33,10 @@ struct ServerOptions {
   /// is dropped after this long instead of pinning a connection thread
   /// forever. 0 disables.
   std::uint32_t idle_timeout_ms = 30000;
+  /// Jobs whose wall time exceeds this dump their span tree to stderr
+  /// (one block per slow job) and bump the slow-job counter. 0 disables
+  /// per-job span collection entirely.
+  std::uint32_t slow_job_ms = 0;
 };
 
 /// The satproofd daemon: accepts proof-checking jobs over the framed
@@ -81,6 +85,10 @@ class Server {
 
   /// Metrics snapshot (same JSON as the protocol's stats reply).
   [[nodiscard]] std::string metrics_json() const;
+
+  /// The snapshot in Prometheus text exposition format (the protocol's
+  /// STATS_PROM reply).
+  [[nodiscard]] std::string metrics_prometheus() const;
 
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 

@@ -284,6 +284,60 @@ TEST_F(ServiceE2E, StatsReplyMatchesServerSnapshot) {
   EXPECT_NE(json.find("\"arena_peak_bytes\":"), std::string::npos);
 }
 
+TEST_F(ServiceE2E, PrometheusStatsAreWellFormedAndCountJobs) {
+  start_server();
+  Client client = connect();
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kHybrid, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+
+  std::string error;
+  const std::string text = client.stats_prometheus(&error);
+  ASSERT_FALSE(text.empty()) << error;
+  EXPECT_EQ(text, server_->metrics_prometheus());
+  EXPECT_NE(text.find("# TYPE satproofd_jobs_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("satproofd_jobs_completed_total 1"), std::string::npos);
+  EXPECT_NE(
+      text.find("satproofd_backend_jobs_completed_total{backend=\"hybrid\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("satproofd_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("satproof_resolutions_total"), std::string::npos);
+}
+
+TEST_F(ServiceE2E, SlowJobDumpsExactlyOneSpanTree) {
+  ServerOptions opts;
+  opts.slow_job_ms = 1;  // a php8 replay always takes longer than 1 ms
+  start_server(opts);
+  Client client = connect();
+
+  ::testing::internal::CaptureStderr();
+  const Client::SubmitReply reply =
+      client.submit(fx_->php8(), fx_->trace8(), Backend::kDf, true);
+  // The dump is written by the worker before the ticket completes, so it
+  // is fully captured once the wait-mode result frame has arrived.
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  EXPECT_EQ(reply.status, JobStatus::kOk);
+  std::size_t dumps = 0;
+  for (std::size_t pos = captured.find("SLOW-JOB:"); pos != std::string::npos;
+       pos = captured.find("SLOW-JOB:", pos + 1)) {
+    ++dumps;
+  }
+  EXPECT_EQ(dumps, 1u) << captured;
+  EXPECT_NE(captured.find("backend=df"), std::string::npos);
+  // The tree includes the service stages and the checker stages.
+  EXPECT_NE(captured.find("queue_wait"), std::string::npos);
+  EXPECT_NE(captured.find("run"), std::string::npos);
+  EXPECT_NE(captured.find("  check"), std::string::npos);
+  EXPECT_NE(captured.find("    parse"), std::string::npos);
+  EXPECT_NE(captured.find("    replay"), std::string::npos);
+  EXPECT_NE(server_->metrics_json().find("\"slow\":1"), std::string::npos);
+  EXPECT_NE(server_->metrics_prometheus().find("satproofd_slow_jobs_total 1"),
+            std::string::npos);
+}
+
 TEST_F(ServiceE2E, TcpTransportWorks) {
   ServerOptions opts;
   opts.enable_tcp = true;  // ephemeral port

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares a fresh --quick run of one of the repo benches against the
+committed baseline and fails (exit 1) when any wall-time metric regresses
+by more than the threshold.
+
+  bench_compare.py --bench table2   BENCH_checkers.json fresh_table2.json
+  bench_compare.py --bench parallel BENCH_checkers.json fresh_parallel.json
+  bench_compare.py --bench service  BENCH_service.json  fresh_service.json
+
+More than one current file may be given; each metric takes its best
+(minimum) value across them. CI runs every quick bench three times and
+gates on the best-of-3, since single --quick runs are milliseconds and
+scheduler noise alone approaches the threshold.
+
+Baseline layout (committed):
+  BENCH_checkers.json  "quick" block      -> table2_checkers --quick totals
+                       "parallel_quick"   -> parallel_speedup --quick doc
+  BENCH_service.json   "quick" block      -> service_throughput --quick doc
+
+Current layout (fresh run):
+  table2_checkers --quick --json FILE     (totals under "arena")
+  parallel_speedup --quick --json FILE    (totals at top level)
+  service_throughput --quick --json FILE  (runs at top level)
+
+Refreshing baselines (run on the reference machine, release-ndebug build):
+  see docs/OBSERVABILITY.md, "Refreshing the benchmark baselines".
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = nothing comparable
+(missing blocks, suite mismatch, or every metric under the noise floor).
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics with a baseline below this are scheduler noise at --quick scale;
+# they are reported but never gate.
+DEFAULT_MIN_SECONDS = 0.0005
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def totals_metrics(totals, keys):
+    return {k: totals[k] for k in keys if k in totals}
+
+
+def extract(bench, baseline_doc, current_doc):
+    """Returns (baseline_metrics, current_metrics, baseline_suite,
+    current_suite); every metric is seconds, lower is better."""
+    if bench == "table2":
+        base = baseline_doc.get("quick") or baseline_doc.get("arena") or {}
+        cur = current_doc.get("arena") or current_doc
+        keys = ("df_seconds", "bf_seconds", "hybrid_seconds")
+        return (
+            totals_metrics(base.get("totals", {}), keys),
+            totals_metrics(cur.get("totals", {}), keys),
+            base.get("suite"),
+            cur.get("suite"),
+        )
+    if bench == "parallel":
+        base = baseline_doc.get("parallel_quick") or baseline_doc
+        cur = current_doc
+        keys = ("df_seconds", "par1_seconds", "par2_seconds", "par4_seconds")
+        return (
+            totals_metrics(base.get("totals", {}), keys),
+            totals_metrics(cur.get("totals", {}), keys),
+            base.get("suite"),
+            cur.get("suite"),
+        )
+    if bench == "service":
+        base = baseline_doc.get("quick") or baseline_doc
+        cur = current_doc
+
+        def per_run(doc):
+            out = {}
+            for run in doc.get("runs", []):
+                out["seconds[clients=%d]" % run["clients"]] = run["seconds"]
+            return out
+
+        return per_run(base), per_run(cur), base.get("suite"), cur.get("suite")
+    raise ValueError("unknown bench %r" % bench)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument(
+        "current",
+        nargs="+",
+        help="fresh --quick --json output(s); metrics take the best across them",
+    )
+    ap.add_argument(
+        "--bench",
+        required=True,
+        choices=("table2", "parallel", "service"),
+        help="which bench pair is being compared",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="max tolerated wall-time regression, percent (default 25)",
+    )
+    ap.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="noise floor: metrics with a smaller baseline never gate",
+    )
+    args = ap.parse_args()
+
+    try:
+        baseline_doc = load(args.baseline)
+        current_docs = [load(p) for p in args.current]
+    except (OSError, json.JSONDecodeError) as e:
+        print("bench_compare: cannot load inputs: %s" % e, file=sys.stderr)
+        return 2
+
+    base, cur, base_suite, cur_suite = extract(
+        args.bench, baseline_doc, current_docs[0]
+    )
+    for doc in current_docs[1:]:
+        _, more, _, more_suite = extract(args.bench, baseline_doc, doc)
+        if more_suite != cur_suite:
+            print(
+                "bench_compare: current runs disagree on suite (%r vs %r)"
+                % (cur_suite, more_suite),
+                file=sys.stderr,
+            )
+            return 2
+        for name, value in more.items():
+            cur[name] = min(cur.get(name, value), value)
+    if base_suite and cur_suite and base_suite != cur_suite:
+        print(
+            "bench_compare: suite mismatch (baseline %r vs current %r); "
+            "refresh the committed baseline" % (base_suite, cur_suite),
+            file=sys.stderr,
+        )
+        return 2
+
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print(
+            "bench_compare: no overlapping metrics between %s and %s"
+            % (args.baseline, ", ".join(args.current)),
+            file=sys.stderr,
+        )
+        return 2
+
+    gated = 0
+    regressions = []
+    print(
+        "bench_compare [%s]: threshold +%.0f%%, noise floor %gs"
+        % (args.bench, args.threshold, args.min_seconds)
+    )
+    for name in common:
+        b, c = base[name], cur[name]
+        delta_pct = (c - b) / b * 100.0 if b > 0 else 0.0
+        if b < args.min_seconds:
+            verdict = "skip (under noise floor)"
+        else:
+            gated += 1
+            if delta_pct > args.threshold:
+                verdict = "REGRESSION"
+                regressions.append(name)
+            else:
+                verdict = "ok"
+        print(
+            "  %-24s baseline %.6fs  current %.6fs  %+7.1f%%  %s"
+            % (name, b, c, delta_pct, verdict)
+        )
+
+    if not gated:
+        print(
+            "bench_compare: every metric is under the noise floor; "
+            "nothing was gated",
+            file=sys.stderr,
+        )
+        return 2
+    if regressions:
+        print(
+            "bench_compare: FAIL — %d metric(s) regressed >%.0f%%: %s"
+            % (len(regressions), args.threshold, ", ".join(regressions)),
+            file=sys.stderr,
+        )
+        return 1
+    print("bench_compare: PASS (%d gated metric(s))" % gated)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

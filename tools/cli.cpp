@@ -18,6 +18,7 @@
 #include "src/checker/parallel.hpp"
 #include "src/circuit/tseitin.hpp"
 #include "src/cnf/dimacs.hpp"
+#include "src/obs/trace.hpp"
 #include "src/cnf/model.hpp"
 #include "src/core/unsat_core.hpp"
 #include "src/encode/coloring.hpp"
@@ -76,10 +77,12 @@ usage:
       --no-deletion    disable learned-clause deletion
       --budget N       give up after N conflicts
       --drup FILE      also emit a DRUP proof (modern literal-based format)
+      --trace-out FILE write a Chrome-trace JSON profile of the run (open
+                       in chrome://tracing or Perfetto; docs/OBSERVABILITY.md)
       exit code: 10 SAT, 20 UNSAT, 0 unknown, 1 error
 
   satproof check <file.cnf> <trace-file> [--checker=MODE] [--jobs=N] [--binary]
-                 [--stats]
+                 [--stats] [--trace-out FILE]
       replay a trace against the formula; exit 0 iff the proof is valid.
       --checker picks the backend: df (default) depth-first resolution
       replay; bf breadth-first; hybrid the bounded-memory hybrid; parallel
@@ -92,6 +95,8 @@ usage:
       checker memory; --stats=json emits the same counters as one JSON
       object (the same serializer the service stats reply uses). Binary
       traces are detected automatically; --binary stays accepted.
+      --trace-out FILE writes a Chrome-trace JSON profile with the
+      checker's stage spans (parse/index/replay/...).
 
   satproof serve (--socket PATH | --tcp PORT | both) [options]
       run satproofd, the batch proof-checking daemon (see docs/SERVICE.md)
@@ -101,6 +106,8 @@ usage:
       --queue N        pending-job capacity before BUSY (default 64)
       --timeout-ms N   default per-job wall-clock budget (0 = unlimited)
       --idle-timeout-ms N  drop connections silent this long (default 30000)
+      --slow-job-ms N  dump a span-tree profile to stderr for any job
+                       slower than N ms (0 = off, the default)
       SIGTERM/SIGINT drain gracefully: running jobs finish, new work is
       refused, then the daemon exits 0.
 
@@ -111,8 +118,9 @@ usage:
       trace argument as a DRUP proof). --wait blocks for the verdict and
       exits 0 iff the proof checked out.
 
-  satproof stats (--socket PATH | --tcp PORT)
-      print a running daemon's metrics snapshot as JSON
+  satproof stats (--socket PATH | --tcp PORT) [--format=json|prometheus]
+      print a running daemon's metrics snapshot (JSON by default;
+      --format=prometheus emits Prometheus text exposition)
 
   satproof core <file.cnf> [--minimal] [--iterations N] [-o FILE]
       extract (and optionally minimize) an unsatisfiable core
@@ -147,6 +155,37 @@ usage:
 class CliError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Scoped --trace-out support: installs an obs::TraceSession for the
+/// command's lifetime and writes the Chrome-trace JSON file at scope exit
+/// (on every return path, including errors).
+class ScopedTraceOut {
+ public:
+  ScopedTraceOut(const std::optional<std::string>& path, std::ostream& err)
+      : err_(err) {
+    if (path) {
+      path_ = *path;
+      session_.emplace();
+    }
+  }
+
+  ~ScopedTraceOut() {
+    if (!session_) return;
+    const std::shared_ptr<obs::TraceSink> sink = session_->sink_ptr();
+    session_.reset();  // flushes this thread and uninstalls the sink
+    if (!sink->write_file(path_)) {
+      err_ << "error: cannot write trace file " << path_ << "\n";
+    }
+  }
+
+  ScopedTraceOut(const ScopedTraceOut&) = delete;
+  ScopedTraceOut& operator=(const ScopedTraceOut&) = delete;
+
+ private:
+  std::ostream& err_;
+  std::string path_;
+  std::optional<obs::TraceSession> session_;
 };
 
 std::uint64_t parse_u64(const std::string& s, const char* what) {
@@ -268,6 +307,7 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
   const bool want_stats = args.take_flag("--stats");
   const bool want_model = args.take_flag("--model");
   const auto drup_path = args.take_option("--drup");
+  const auto trace_out_path = args.take_option("--trace-out");
   std::vector<Lit> assumptions;
   if (const auto a = args.take_option("--assume")) {
     std::istringstream as(*a);
@@ -281,6 +321,7 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
   }
   const std::string cnf_path = args.next("CNF file");
   args.expect_done();
+  ScopedTraceOut scoped_trace(trace_out_path, err);
 
   if (check_mode && *check_mode != "df" && *check_mode != "bf" &&
       *check_mode != "parallel" && *check_mode != "both") {
@@ -521,6 +562,7 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
     stats_json = true;
   }
   const auto checker_opt = args.take_option("--checker");
+  const auto trace_out_path = args.take_option("--trace-out");
   unsigned jobs = 0;
   if (const auto v = args.take_option("--jobs")) {
     jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
@@ -529,6 +571,7 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const std::string cnf_path = args.next("CNF file");
   const std::string trace_path = args.next("trace file");
   args.expect_done();
+  ScopedTraceOut scoped_trace(trace_out_path, err);
   if (use_bf + use_hybrid + use_rup + checker_opt.has_value() > 1) {
     throw CliError("pick at most one of --checker, --bf, --hybrid, --rup");
   }
@@ -694,6 +737,9 @@ int cmd_serve(Args args, std::ostream& out, std::ostream&) {
     opts.idle_timeout_ms =
         static_cast<std::uint32_t>(parse_u64(*v, "--idle-timeout-ms"));
   }
+  if (const auto v = args.take_option("--slow-job-ms")) {
+    opts.slow_job_ms = static_cast<std::uint32_t>(parse_u64(*v, "--slow-job-ms"));
+  }
   args.expect_done();
   if (opts.unix_socket_path.empty() && !opts.enable_tcp) {
     throw CliError("serve needs --socket PATH and/or --tcp PORT");
@@ -788,15 +834,25 @@ int cmd_submit(Args args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_stats(Args args, std::ostream& out, std::ostream& err) {
+  std::string format = "json";
+  if (const auto v = args.take_option("--format")) {
+    if (*v != "json" && *v != "prometheus") {
+      throw CliError("--format expects json or prometheus");
+    }
+    format = *v;
+  }
   service::Client client = connect_client(args);
   args.expect_done();
   std::string error;
-  const std::string json = client.stats_json(&error);
-  if (json.empty()) {
+  const std::string body = format == "prometheus"
+                               ? client.stats_prometheus(&error)
+                               : client.stats_json(&error);
+  if (body.empty()) {
     err << "error: " << error << "\n";
     return kExitError;
   }
-  out << json << "\n";
+  out << body;
+  if (format == "json") out << "\n";
   return 0;
 }
 

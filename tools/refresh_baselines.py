@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Regenerates the committed benchmark baselines.
+
+Runs table2_checkers, parallel_speedup and service_throughput from a
+Release build (standard + quick scales), merges their JSON documents and
+rewrites BENCH_checkers.json / BENCH_service.json in the layout
+tools/bench_compare.py consumes. The previous standard-suite checker
+numbers are preserved as the embedded "baseline" block so the committed
+file still records the last before/after comparison.
+
+  cmake -B build-rel -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-rel -j --target table2_checkers parallel_speedup service_throughput
+  python3 tools/refresh_baselines.py --build build-rel
+
+Run on a quiet machine; commit the two BENCH files afterwards.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(binary, *args):
+    """Runs one bench writing its JSON to a temp file; returns the doc."""
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench-refresh-")
+    os.close(fd)
+    try:
+        cmd = [binary, *args, "--json", path]
+        print("+ " + " ".join(cmd), file=sys.stderr)
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def min_into(target, other):
+    """Element-wise min of the wall-time numbers bench_compare gates on."""
+    for key, value in other.items():
+        if isinstance(value, dict):
+            min_into(target[key], value)
+        elif isinstance(value, list) and key == "runs":
+            for t, o in zip(target[key], value):
+                min_into(t, o)
+        elif isinstance(value, (int, float)) and key.endswith("seconds"):
+            target[key] = min(target[key], value)
+
+
+def run_bench_best(binary, *args, rounds=3):
+    """best-of-N on every *_seconds metric: --quick runs are milliseconds,
+    so the committed baseline should be the machine's real speed, not one
+    run's scheduler luck (bench_compare takes best-of-N on its side too)."""
+    doc = run_bench(binary, *args)
+    for _ in range(rounds - 1):
+        min_into(doc, run_bench(binary, *args))
+    return doc
+
+
+def comparison(prev_totals, cur_totals):
+    out = {}
+    if prev_totals.get("df_seconds", 0) > 0:
+        out["df_speedup"] = prev_totals["df_seconds"] / cur_totals["df_seconds"]
+    if prev_totals.get("df_peak_bytes", 0) > 0:
+        out["df_peak_reduction"] = (
+            1.0 - cur_totals["df_peak_bytes"] / prev_totals["df_peak_bytes"]
+        )
+    if prev_totals.get("bf_peak_bytes", 0) > 0:
+        out["bf_peak_reduction"] = (
+            1.0 - cur_totals["bf_peak_bytes"] / prev_totals["bf_peak_bytes"]
+        )
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build-rel", help="build dir with Release benches")
+    ap.add_argument("--repo", default=".", help="repo root holding the BENCH files")
+    args = ap.parse_args()
+
+    bench_dir = os.path.join(args.build, "bench")
+    checkers_path = os.path.join(args.repo, "BENCH_checkers.json")
+    service_path = os.path.join(args.repo, "BENCH_service.json")
+
+    prev_arena = {}
+    if os.path.exists(checkers_path):
+        with open(checkers_path) as f:
+            prev_arena = json.load(f).get("arena", {})
+
+    t2_std = run_bench(os.path.join(bench_dir, "table2_checkers"))
+    t2_quick = run_bench_best(os.path.join(bench_dir, "table2_checkers"), "--quick")
+    par_quick = run_bench_best(os.path.join(bench_dir, "parallel_speedup"), "--quick")
+    svc_std = run_bench(os.path.join(bench_dir, "service_throughput"))
+    svc_quick = run_bench_best(os.path.join(bench_dir, "service_throughput"), "--quick")
+
+    checkers = {
+        "bench": "table2_checkers",
+        "arena": t2_std["arena"],
+        "baseline": prev_arena or None,
+        "tracing_overhead": t2_std.get("tracing_overhead"),
+        "quick": t2_quick["arena"],
+        "tracing_overhead_quick": t2_quick.get("tracing_overhead"),
+        "parallel_quick": par_quick,
+    }
+    if prev_arena:
+        checkers["comparison"] = comparison(
+            prev_arena.get("totals", {}), t2_std["arena"]["totals"]
+        )
+
+    service = {
+        "bench": "service_throughput",
+        "standard": svc_std,
+        "quick": svc_quick,
+    }
+
+    with open(checkers_path, "w") as f:
+        json.dump(checkers, f, indent=2)
+        f.write("\n")
+    with open(service_path, "w") as f:
+        json.dump(service, f, indent=2)
+        f.write("\n")
+    print("wrote %s and %s" % (checkers_path, service_path), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
