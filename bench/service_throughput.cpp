@@ -159,34 +159,71 @@ int run(bool quick, const std::string& json_path) {
     pipe_trace(solved[i].trace, writer);
   }
 
-  util::TempFile socket_file{"svc-bench-sock"};
-  service::ServerOptions opts;
-  opts.unix_socket_path = socket_file.path().string();
-  opts.queue_capacity = 256;  // measure scheduling, not backpressure
-  service::Server server(opts);
-  server.start();
-
   const std::vector<int> client_counts =
       quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
   const int jobs_per_client = quick ? 6 : 16;
 
-  // One warmup pass so first-touch costs don't land in run #1.
-  if (!run_load(opts.unix_socket_path, work, 1, 2).ok) {
+  // Client-count sweep on a single worker: the historical baseline shape
+  // (pinned to one worker so the series stays comparable across the
+  // thread-pool -> sharded-worker-pool rearchitecture).
+  std::vector<RunResult> runs;
+  {
+    util::TempFile socket_file{"svc-bench-sock"};
+    service::ServerOptions opts;
+    opts.unix_socket_path = socket_file.path().string();
+    opts.queue_capacity = 256;  // measure scheduling, not backpressure
+    opts.workers = 1;
+    service::Server server(opts);
+    server.start();
+
+    // One warmup pass so first-touch costs don't land in run #1.
+    if (!run_load(opts.unix_socket_path, work, 1, 2).ok) {
+      server.drain_and_wait();
+      return 1;
+    }
+    for (const int clients : client_counts) {
+      RunResult r =
+          run_load(opts.unix_socket_path, work, clients, jobs_per_client);
+      if (!r.ok) {
+        server.drain_and_wait();
+        return 1;
+      }
+      runs.push_back(r);
+    }
     server.drain_and_wait();
-    return 1;
   }
 
-  std::vector<RunResult> runs;
-  for (const int clients : client_counts) {
-    RunResult r =
-        run_load(opts.unix_socket_path, work, clients, jobs_per_client);
+  // Worker-count sweep at a fixed client load: the multi-core scaling
+  // curve. A fresh server per point so worker pools never share state.
+  std::vector<unsigned> worker_counts{1, 2, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(worker_counts.begin(), worker_counts.end(), hw) ==
+      worker_counts.end()) {
+    worker_counts.push_back(hw);
+  }
+  const int sweep_clients = quick ? 4 : 8;
+  std::vector<std::pair<unsigned, RunResult>> sweep;
+  for (const unsigned workers : worker_counts) {
+    util::TempFile socket_file{"svc-bench-sock"};
+    service::ServerOptions opts;
+    opts.unix_socket_path = socket_file.path().string();
+    opts.queue_capacity = 256;
+    opts.workers = workers;
+    service::Server server(opts);
+    server.start();
+    if (!run_load(opts.unix_socket_path, work, 1, 2).ok) {  // warmup
+      server.drain_and_wait();
+      return 1;
+    }
+    RunResult r = run_load(opts.unix_socket_path, work, sweep_clients,
+                           jobs_per_client);
     if (!r.ok) {
       server.drain_and_wait();
       return 1;
     }
-    runs.push_back(r);
+    sweep.emplace_back(workers, r);
+    server.drain_and_wait();
   }
-  server.drain_and_wait();
 
   util::JsonWriter w;
   w.begin_object();
@@ -208,6 +245,27 @@ int run(bool quick, const std::string& json_path) {
   w.begin_array();
   for (const RunResult& r : runs) {
     w.begin_object();
+    w.key("clients");
+    w.value(static_cast<std::int64_t>(r.clients));
+    w.key("jobs");
+    w.value(static_cast<std::int64_t>(r.jobs));
+    w.key("seconds");
+    w.value(r.seconds);
+    w.key("jobs_per_sec");
+    w.value(r.seconds > 0 ? static_cast<double>(r.jobs) / r.seconds : 0.0);
+    w.key("p50_ms");
+    w.value(r.p50_ms);
+    w.key("p99_ms");
+    w.value(r.p99_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("worker_sweep");
+  w.begin_array();
+  for (const auto& [workers, r] : sweep) {
+    w.begin_object();
+    w.key("workers");
+    w.value(static_cast<std::int64_t>(workers));
     w.key("clients");
     w.value(static_cast<std::int64_t>(r.clients));
     w.key("jobs");

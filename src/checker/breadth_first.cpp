@@ -17,7 +17,8 @@ class BreadthFirstChecker {
         reader_(&reader),
         options_(options),
         level0_(reader.num_vars()),
-        counts_(make_use_count_store(options.use_counts)) {}
+        counts_(make_use_count_store(options.use_counts)),
+        store_(options.recycle_arena) {}
 
   CheckResult run() {
     CheckResult result;

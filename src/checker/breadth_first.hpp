@@ -18,6 +18,10 @@ struct BreadthFirstOptions {
   /// the number of usages of the clauses in one range at a time". Zero
   /// counts everything in a single pass.
   std::uint64_t count_range = 0;
+
+  /// When non-null, clause storage borrows this arena instead of growing a
+  /// private one (see DepthFirstOptions::recycle_arena).
+  util::ClauseArena* recycle_arena = nullptr;
 };
 
 /// Breadth-first proof checking (paper Section 3.3).

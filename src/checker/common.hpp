@@ -87,6 +87,20 @@ using ClauseView = std::span<const Lit>;
 /// chasing.
 class ClauseStore {
  public:
+  /// Owns a private arena (the default, used by one-shot CLI checks).
+  ClauseStore() : arena_(&owned_) {}
+
+  /// Borrows `external` for clause storage instead of owning one
+  /// (nullptr = own a private arena). The satproofd worker pool passes a
+  /// per-worker arena here (reset() between jobs) so repeated checks reuse
+  /// already-mapped chunks and concurrent workers never share an
+  /// allocator. `external` must outlive the store.
+  explicit ClauseStore(util::ClauseArena* external)
+      : arena_(external != nullptr ? external : &owned_) {}
+
+  ClauseStore(const ClauseStore&) = delete;
+  ClauseStore& operator=(const ClauseStore&) = delete;
+
   /// Pre-sizes the ref table for IDs in [0, num_ids). put() grows it on
   /// demand, so this is an optimization, not a requirement.
   void reserve(std::size_t num_ids) {
@@ -101,7 +115,7 @@ class ClauseStore {
 
   /// View of the stored clause; `id` must be contains().
   [[nodiscard]] ClauseView view(ClauseId id) const {
-    return arena_.view(refs_[id]);
+    return arena_->view(refs_[id]);
   }
 
   /// Copies `lits` into the arena under `id` (which must not be stored).
@@ -109,23 +123,24 @@ class ClauseStore {
     if (id >= refs_.size()) {
       refs_.resize(id + 1, util::ClauseArena::kNullRef);
     }
-    refs_[id] = arena_.put(lits);
+    refs_[id] = arena_->put(lits);
   }
 
   /// Releases `id`'s block for reuse; `id` must be contains().
   void release(ClauseId id) {
-    arena_.release(refs_[id]);
+    arena_->release(refs_[id]);
     refs_[id] = util::ClauseArena::kNullRef;
   }
 
-  [[nodiscard]] util::ClauseArena& arena() { return arena_; }
-  [[nodiscard]] const util::ClauseArena& arena() const { return arena_; }
+  [[nodiscard]] util::ClauseArena& arena() { return *arena_; }
+  [[nodiscard]] const util::ClauseArena& arena() const { return *arena_; }
 
   /// One past the highest ID the ref table covers.
   [[nodiscard]] std::size_t id_limit() const { return refs_.size(); }
 
  private:
-  util::ClauseArena arena_;
+  util::ClauseArena owned_;     ///< backing store for the default ctor
+  util::ClauseArena* arena_;    ///< &owned_, or the borrowed external arena
   std::vector<util::ClauseArena::Ref> refs_;
 };
 

@@ -11,11 +11,13 @@ namespace {
 
 class DepthFirstChecker {
  public:
-  DepthFirstChecker(const Formula& f, trace::TraceReader& reader)
+  DepthFirstChecker(const Formula& f, trace::TraceReader& reader,
+                    util::ClauseArena* recycle_arena)
       : formula_(&f),
         reader_(&reader),
         level0_(reader.num_vars()),
-        derivations_(reader.num_original()) {}
+        derivations_(reader.num_original()),
+        store_(recycle_arena) {}
 
   CheckResult run(const DepthFirstOptions& options) {
     CheckResult result;
@@ -172,7 +174,7 @@ class DepthFirstChecker {
 
 CheckResult check_depth_first(const Formula& f, trace::TraceReader& reader,
                               const DepthFirstOptions& options) {
-  DepthFirstChecker checker(f, reader);
+  DepthFirstChecker checker(f, reader, options.recycle_arena);
   return checker.run(options);
 }
 

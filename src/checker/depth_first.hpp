@@ -10,6 +10,12 @@ struct DepthFirstOptions {
   /// unsatisfiable core, "a by-product" per Section 3.2). Costs nothing
   /// extra beyond returning the list.
   bool collect_core = true;
+
+  /// When non-null, clause storage borrows this arena instead of growing a
+  /// private one (satproofd workers pass their per-worker arena, reset()
+  /// between jobs, so chunk memory is reused across checks). Reported
+  /// arena statistics are identical either way.
+  util::ClauseArena* recycle_arena = nullptr;
 };
 
 /// Depth-first proof checking (paper Section 3.2, Fig. 3).

@@ -17,7 +17,8 @@ class HybridChecker {
       : formula_(&f),
         reader_(&reader),
         level0_(reader.num_vars()),
-        counts_(make_use_count_store(options.use_counts)) {}
+        counts_(make_use_count_store(options.use_counts)),
+        store_(options.recycle_arena) {}
 
   CheckResult run() {
     CheckResult result;

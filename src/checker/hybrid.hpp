@@ -9,6 +9,10 @@ namespace satproof::checker {
 struct HybridOptions {
   /// Use-count storage, as in the breadth-first checker.
   UseCountMode use_counts = UseCountMode::InMemory;
+
+  /// When non-null, clause storage borrows this arena instead of growing a
+  /// private one (see DepthFirstOptions::recycle_arena).
+  util::ClauseArena* recycle_arena = nullptr;
 };
 
 /// Hybrid proof checking — the checker the paper's conclusion asks for:

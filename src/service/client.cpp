@@ -1,6 +1,8 @@
 #include "src/service/client.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <vector>
 
 namespace satproof::service {
@@ -43,6 +45,14 @@ Client::SubmitReply Client::submit(const std::string& cnf_path,
   header.flags = wait ? kSubmitFlagWait : 0;
   header.timeout_ms = timeout_ms;
   header.jobs = jobs;
+  // Declare the upload size up front so the server can pick a priority
+  // lane before the bytes arrive. Unreadable files declare 0; the server
+  // falls back to the measured upload size (and the send fails below).
+  std::error_code ec;
+  const auto cnf_bytes = std::filesystem::file_size(cnf_path, ec);
+  if (!ec) header.declared_bytes += cnf_bytes;
+  const auto trace_bytes = std::filesystem::file_size(trace_path, ec);
+  if (!ec) header.declared_bytes += trace_bytes;
 
   if (!write_frame(sock_, FrameTag::kSubmit, encode_submit_header(header))) {
     reply.error = "transport error sending submit header";

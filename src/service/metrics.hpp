@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "src/service/job_queue.hpp"
 #include "src/service/run_check.hpp"
 
 namespace satproof::service {
@@ -55,16 +57,21 @@ class Metrics {
   void on_slow_job();
 
   /// Structured snapshot: jobs accepted/rejected/completed/failed,
-  /// per-backend latency percentiles, queue gauges, arena peak.
-  [[nodiscard]] std::string to_json(std::size_t queue_depth,
-                                    std::size_t queue_capacity,
-                                    std::size_t running_jobs) const;
+  /// per-backend latency percentiles, queue gauges, arena peak, and one
+  /// entry per worker shard (lane depths, cumulative lane admissions,
+  /// steal count). The shard snapshots are owned by the scheduler and
+  /// passed in at snapshot time, like the queue gauges.
+  [[nodiscard]] std::string to_json(
+      std::size_t queue_depth, std::size_t queue_capacity,
+      std::size_t running_jobs,
+      const std::vector<ShardedJobQueue::ShardSnapshot>& shards) const;
 
   /// The same snapshot in Prometheus text exposition format
   /// (`satproofd_*` series plus the process-wide obs::MetricsRegistry).
-  [[nodiscard]] std::string to_prometheus(std::size_t queue_depth,
-                                          std::size_t queue_capacity,
-                                          std::size_t running_jobs) const;
+  [[nodiscard]] std::string to_prometheus(
+      std::size_t queue_depth, std::size_t queue_capacity,
+      std::size_t running_jobs,
+      const std::vector<ShardedJobQueue::ShardSnapshot>& shards) const;
 
  private:
   struct BackendCounters {

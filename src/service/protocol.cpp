@@ -34,21 +34,24 @@ std::uint64_t read_u64le(const std::uint8_t* p) {
 
 std::vector<std::uint8_t> encode_submit_header(const SubmitHeader& h) {
   std::vector<std::uint8_t> out;
-  out.reserve(10);
+  out.reserve(18);
   out.push_back(h.backend);
   out.push_back(h.flags);
   append_u32le(out, h.timeout_ms);
   append_u32le(out, h.jobs);
+  append_u64le(out, h.declared_bytes);
   return out;
 }
 
 bool decode_submit_header(std::span<const std::uint8_t> payload,
                           SubmitHeader& out) {
-  if (payload.size() != 10) return false;
+  // 18 bytes = current header; 10 = pre-declared_bytes clients.
+  if (payload.size() != 18 && payload.size() != 10) return false;
   out.backend = payload[0];
   out.flags = payload[1];
   out.timeout_ms = read_u32le(payload.data() + 2);
   out.jobs = read_u32le(payload.data() + 6);
+  out.declared_bytes = payload.size() == 18 ? read_u64le(payload.data() + 10) : 0;
   return true;
 }
 
@@ -137,6 +140,33 @@ ReadStatus read_frame(util::Socket& sock, Frame& out,
     return ReadStatus::kTruncated;
   }
   return ReadStatus::kFrame;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Drop the consumed prefix before growing; amortized O(1) per byte.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return Result::kNeedMore;
+  const std::uint8_t* p = buf_.data() + consumed_;
+  const std::uint32_t len = read_u32le(p + 1);
+  if (len > max_payload_) return Result::kOversized;
+  if (avail < kFrameHeaderBytes + len) return Result::kNeedMore;
+  out.tag = static_cast<FrameTag>(p[0]);
+  out.payload.assign(p + kFrameHeaderBytes, p + kFrameHeaderBytes + len);
+  consumed_ += kFrameHeaderBytes + len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return Result::kFrame;
 }
 
 const char* error_code_name(ErrorCode code) {

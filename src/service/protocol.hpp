@@ -76,12 +76,20 @@ enum class JobStatus : std::uint8_t {
   kTimeout = 3,      ///< wall-clock deadline exceeded
 };
 
-/// kSubmit payload (fixed 10 bytes).
+/// kSubmit payload. Encoded as 18 bytes; a legacy 10-byte header (without
+/// the trailing declared_bytes field) still decodes, with declared_bytes
+/// taken as 0 ("unknown").
 struct SubmitHeader {
   std::uint8_t backend = 0;      ///< service::Backend
   std::uint8_t flags = 0;        ///< kSubmitFlagWait
   std::uint32_t timeout_ms = 0;  ///< wall-clock budget; 0 = server default
   std::uint32_t jobs = 0;        ///< parallel-backend workers; 0 = default
+  /// Total upload size (CNF + trace bytes) the client intends to stream;
+  /// 0 = unknown. The server picks the job's priority lane from it — an
+  /// honest multi-MB declaration queues behind nothing but other bulk
+  /// jobs, while small jobs overtake. A dishonest 0/low declaration is
+  /// corrected from the actually-ingested byte count at enqueue time.
+  std::uint64_t declared_bytes = 0;
 };
 
 inline constexpr std::uint8_t kSubmitFlagWait = 0x01;
@@ -140,6 +148,46 @@ bool write_frame(util::Socket& sock, FrameTag tag);
 /// payload byte (the connection is unusable afterwards — close it).
 ReadStatus read_frame(util::Socket& sock, Frame& out,
                       std::uint32_t max_payload = kMaxFramePayload);
+
+// --- incremental decoding (event-loop server) ---------------------------
+
+/// Reassembles frames from arbitrarily fragmented byte input — the
+/// non-blocking ingest loop feeds it whatever recv() returned, so a
+/// client trickling one byte per write (or a slowloris upload) costs
+/// buffer space, never a blocked thread.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  enum class Result {
+    kNeedMore,   ///< no complete frame buffered yet
+    kFrame,      ///< `out` holds the next frame
+    kOversized,  ///< declared length > max_payload; stop feeding
+  };
+
+  /// Appends `n` raw bytes to the reassembly buffer.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame, if any. Call in a loop until it
+  /// stops returning kFrame — one feed() can complete several frames.
+  Result next(Frame& out);
+
+  /// True while a frame header or payload is partially buffered — a
+  /// disconnect now is a mid-frame truncation, not an orderly close.
+  /// (Assumes the caller drains next() until kNeedMore after every feed.)
+  [[nodiscard]] bool mid_frame() const { return buffered_bytes() > 0; }
+
+  /// Bytes currently buffered (partial frame data).
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buf_.size() - consumed_;
+  }
+
+ private:
+  std::uint32_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  ///< prefix of buf_ already handed out
+};
 
 /// Human-readable names for diagnostics and tests.
 const char* error_code_name(ErrorCode code);

@@ -158,8 +158,10 @@ void bump_global_counters(const JobOutcome& out) {
 }  // namespace
 
 JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
-                     Backend backend, unsigned jobs) {
+                     Backend backend, unsigned jobs,
+                     util::ClauseArena* recycle_arena) {
   obs::Span check_span("check");
+  if (recycle_arena != nullptr) recycle_arena->reset();
   JobOutcome out;
   out.backend = backend;
   try {
@@ -192,12 +194,18 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
 
     checker::CheckResult res;
     switch (backend) {
-      case Backend::kBf:
-        res = checker::check_breadth_first(f, *reader);
+      case Backend::kBf: {
+        checker::BreadthFirstOptions bopts;
+        bopts.recycle_arena = recycle_arena;
+        res = checker::check_breadth_first(f, *reader, bopts);
         break;
-      case Backend::kHybrid:
-        res = checker::check_hybrid(f, *reader);
+      }
+      case Backend::kHybrid: {
+        checker::HybridOptions hopts;
+        hopts.recycle_arena = recycle_arena;
+        res = checker::check_hybrid(f, *reader, hopts);
         break;
+      }
       case Backend::kParallel: {
         checker::ParallelOptions popts;
         popts.jobs = jobs;
@@ -205,9 +213,12 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
         break;
       }
       case Backend::kDf:
-      default:
-        res = checker::check_depth_first(f, *reader);
+      default: {
+        checker::DepthFirstOptions dopts;
+        dopts.recycle_arena = recycle_arena;
+        res = checker::check_depth_first(f, *reader, dopts);
         break;
+      }
     }
     out.ok = res.ok;
     out.error = res.error;

@@ -67,8 +67,14 @@ struct JobOutcome {
 ///
 /// `jobs` is the parallel backend's worker count (0 = hardware threads);
 /// other backends ignore it.
+///
+/// `recycle_arena`, when non-null, backs the df/bf/hybrid clause store so
+/// repeated checks on one thread reuse already-mapped chunks (it is
+/// reset() before use; the parallel and DRUP backends manage their own
+/// storage and ignore it). Outcomes are byte-identical either way.
 [[nodiscard]] JobOutcome run_check(const std::string& cnf_path,
                                    const std::string& trace_path,
-                                   Backend backend, unsigned jobs = 0);
+                                   Backend backend, unsigned jobs = 0,
+                                   util::ClauseArena* recycle_arena = nullptr);
 
 }  // namespace satproof::service

@@ -1,5 +1,6 @@
 #include "src/service/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -12,7 +13,27 @@
 namespace satproof::service {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+// EventPoller keys of the non-connection descriptors; connections get
+// keys starting at Server::next_conn_key_ (16).
+constexpr std::uint64_t kKeyUnixListener = 0;
+constexpr std::uint64_t kKeyTcpListener = 1;
+constexpr std::uint64_t kKeyDrainPipe = 2;
+constexpr std::uint64_t kKeyCompletionPipe = 3;
+
+/// Serializes one frame to its wire form (header + payload).
+std::vector<std::uint8_t> make_wire_frame(
+    FrameTag tag, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<std::uint8_t>(tag));
+  append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
 }  // namespace
 
 /// Per-connection upload in progress: the job header plus the temp files
@@ -22,6 +43,7 @@ struct UploadState {
   bool active = false;
   SubmitHeader header;
   std::uint64_t ingest_start_us = 0;
+  std::uint64_t streamed_bytes = 0;  ///< CNF + trace bytes received so far
   std::optional<util::TempFile> cnf_file;
   std::optional<util::TempFile> trace_file;
   std::ofstream cnf_out;
@@ -30,6 +52,7 @@ struct UploadState {
   void begin(const SubmitHeader& h) {
     header = h;
     ingest_start_us = obs::now_us();
+    streamed_bytes = 0;
     cnf_file.emplace("svc-cnf");
     trace_file.emplace("svc-trace");
     cnf_out.open(cnf_file->path(), std::ios::out | std::ios::binary);
@@ -46,10 +69,46 @@ struct UploadState {
   }
 };
 
+/// One live client connection, owned exclusively by the I/O thread. No
+/// thread, no lock: all state transitions happen on the event loop, and a
+/// connection that closes is destroyed on the spot (prompt reaping — dead
+/// handles never accumulate waiting for the next accept).
+struct Server::Connection {
+  std::uint64_t key = 0;
+  util::Socket sock;
+  FrameDecoder decoder;
+  UploadState upload;
+
+  /// Bytes queued for the peer, sent as the socket accepts them;
+  /// [out_off, outbuf.size()) is the unsent suffix.
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_off = 0;
+
+  /// A wait-mode job is in flight: reads are paused (the blocking server
+  /// equally read nothing while parked on the ticket) and the idle sweep
+  /// leaves the connection alone until the result is delivered.
+  bool waiting_result = false;
+  /// Close once outbuf drains (protocol error already queued, or EOF).
+  bool close_after_flush = false;
+  /// Peer half-closed; never re-enable read interest.
+  bool saw_eof = false;
+
+  // Current poller interest, to skip redundant modify() syscalls.
+  bool poll_read = true;
+  bool poll_write = false;
+
+  std::uint64_t last_activity_us = 0;
+
+  [[nodiscard]] bool has_unsent() const { return out_off < outbuf.size(); }
+};
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity),
-      pool_(options_.jobs) {}
+      worker_count_(options_.workers != 0
+                        ? options_.workers
+                        : std::max(1u, std::thread::hardware_concurrency())),
+      queue_(worker_count_,
+             options_.queue_capacity == 0 ? 1 : options_.queue_capacity) {}
 
 Server::~Server() {
   bool need_drain = false;
@@ -67,16 +126,33 @@ void Server::start() {
   }
   if (!options_.unix_socket_path.empty()) {
     unix_listener_ = util::listen_unix(options_.unix_socket_path);
+    unix_listener_.set_nonblocking();
   }
   if (options_.enable_tcp) {
     tcp_listener_ = util::listen_tcp_localhost(options_.tcp_port);
+    tcp_listener_.set_nonblocking();
     tcp_port_ = util::local_port(tcp_listener_);
   }
+
+  poller_ = std::make_unique<util::EventPoller>();
+  if (unix_listener_.valid()) {
+    poller_->add(unix_listener_.fd(), kKeyUnixListener, true, false);
+  }
+  if (tcp_listener_.valid()) {
+    poller_->add(tcp_listener_.fd(), kKeyTcpListener, true, false);
+  }
+  poller_->add(wake_pipe_.read_fd, kKeyDrainPipe, true, false);
+  poller_->add(completion_pipe_.read_fd, kKeyCompletionPipe, true, false);
+
   {
     std::lock_guard lock(state_mutex_);
     started_ = true;
   }
-  listener_thread_ = std::jthread([this] { listener_loop(); });
+  workers_.reserve(worker_count_);
+  for (unsigned w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+  io_thread_ = std::jthread([this] { io_loop(); });
 }
 
 void Server::wait_until_drained() {
@@ -90,79 +166,74 @@ void Server::drain_and_wait() {
   wait_until_drained();
 }
 
+std::vector<ShardedJobQueue::ShardSnapshot> Server::shard_snapshots() const {
+  std::vector<ShardedJobQueue::ShardSnapshot> out;
+  out.reserve(queue_.shards());
+  for (unsigned i = 0; i < queue_.shards(); ++i) {
+    out.push_back(queue_.shard_snapshot(i));
+  }
+  return out;
+}
+
 std::string Server::metrics_json() const {
   return metrics_.to_json(queue_.depth(), queue_.capacity(),
-                          running_jobs_.load());
+                          running_jobs_.load(), shard_snapshots());
 }
 
 std::string Server::metrics_prometheus() const {
   return metrics_.to_prometheus(queue_.depth(), queue_.capacity(),
-                                running_jobs_.load());
+                                running_jobs_.load(), shard_snapshots());
 }
 
-void Server::listener_loop() {
+// ----------------------------------------------------------------------
+// I/O thread
+// ----------------------------------------------------------------------
+
+void Server::io_loop() {
+  std::vector<util::PollEvent> events;
   for (;;) {
-    const int fds[3] = {unix_listener_.valid() ? unix_listener_.fd() : -1,
-                        tcp_listener_.valid() ? tcp_listener_.fd() : -1,
-                        wake_pipe_.read_fd};
-    const unsigned mask = util::poll_readable(fds, -1);
-    if ((mask & 4u) != 0) break;  // drain requested
-    for (int i = 0; i < 2; ++i) {
-      if ((mask & (1u << i)) == 0) continue;
-      util::Socket& listener = i == 0 ? unix_listener_ : tcp_listener_;
-      util::Socket conn = util::accept_connection(listener);
-      if (!conn.valid()) continue;
-      if (options_.idle_timeout_ms > 0) {
-        conn.set_recv_timeout_ms(options_.idle_timeout_ms);
-      }
-      reap_finished_connections();
-      auto slot = std::make_unique<ConnSlot>();
-      slot->sock = std::move(conn);
-      ConnSlot* raw = slot.get();
-      {
-        std::lock_guard lock(conns_mutex_);
-        conns_.push_back(std::move(slot));
-      }
-      raw->thread = std::jthread([this, raw] { connection_main(raw); });
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0) {
+      timeout_ms = static_cast<int>(
+          std::clamp(options_.idle_timeout_ms / 4, 25u, 1000u));
     }
-  }
-  finish_drain();
-}
-
-void Server::finish_drain() {
-  wake_pipe_.drain();
-  draining_.store(true);
-  unix_listener_.close();
-  tcp_listener_.close();
-  if (!options_.unix_socket_path.empty()) {
-    std::error_code ec;
-    std::filesystem::remove(options_.unix_socket_path, ec);
-  }
-
-  // Close admissions, then let every admitted job finish. The shared
-  // schedule mutex guarantees each admitted job already has its pool task
-  // submitted, so wait_idle() covers every outstanding ticket.
-  {
-    std::lock_guard lock(schedule_mutex_);
-    queue_.close();
-  }
-  pool_.wait_idle();
-
-  // Wake connection threads blocked in recv; their write sides stay open
-  // so a final result frame still goes out.
-  {
-    std::lock_guard lock(conns_mutex_);
-    for (auto& slot : conns_) {
-      if (!slot->done.load()) slot->sock.shutdown_read();
+    if (draining_.load()) {
+      timeout_ms = timeout_ms < 0 ? 100 : std::min(timeout_ms, 100);
     }
+
+    poller_->wait(timeout_ms, events);
+    const std::uint64_t now = obs::now_us();
+
+    for (const util::PollEvent& ev : events) {
+      switch (ev.key) {
+        case kKeyUnixListener:
+          accept_ready(unix_listener_);
+          break;
+        case kKeyTcpListener:
+          accept_ready(tcp_listener_);
+          break;
+        case kKeyDrainPipe:
+          wake_pipe_.drain();
+          begin_drain();
+          break;
+        case kKeyCompletionPipe:
+          deliver_completions();
+          break;
+        default:
+          on_connection_event(ev, now);
+          break;
+      }
+    }
+
+    if (options_.idle_timeout_ms > 0) sweep_idle(now);
+    if (draining_.load() && drain_complete()) break;
   }
-  // Join outside the lock: a connection's final close needs conns_mutex_.
-  std::list<std::unique_ptr<ConnSlot>> taken;
-  {
-    std::lock_guard lock(conns_mutex_);
-    taken.swap(conns_);
-  }
-  taken.clear();  // jthread destructors join
+
+  // Every admitted job has completed and flushed; surviving connections
+  // (idle peers, half-done uploads) are cut off now, as the blocking
+  // server did by joining their threads.
+  conns_.clear();
+  workers_.clear();  // jthread destructors join; pop_blocking returned
 
   {
     std::lock_guard lock(state_mutex_);
@@ -171,56 +242,168 @@ void Server::finish_drain() {
   state_cv_.notify_all();
 }
 
-void Server::reap_finished_connections() {
-  std::list<std::unique_ptr<ConnSlot>> dead;
-  {
-    std::lock_guard lock(conns_mutex_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->done.load()) {
-        dead.push_back(std::move(*it));
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+void Server::begin_drain() {
+  if (draining_.exchange(true)) return;
+  if (unix_listener_.valid()) {
+    poller_->remove(unix_listener_.fd());
+    unix_listener_.close();
   }
-  dead.clear();  // joins finished threads outside the lock
+  if (tcp_listener_.valid()) {
+    poller_->remove(tcp_listener_.fd());
+    tcp_listener_.close();
+  }
+  if (!options_.unix_socket_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options_.unix_socket_path, ec);
+  }
+  // Stop admissions. Workers keep draining already-queued jobs; a late
+  // SUBMIT_END sees kClosed and is answered with a DRAINING error.
+  queue_.close();
 }
 
-void Server::connection_main(ConnSlot* slot) {
-  metrics_.on_connection();
-  UploadState upload;
+bool Server::drain_complete() const {
+  if (pending_jobs_ > 0) return false;
+  for (const auto& [key, conn] : conns_) {
+    (void)key;
+    if (conn->has_unsent()) return false;
+  }
+  return true;
+}
+
+void Server::accept_ready(util::Socket& listener) {
+  if (!listener.valid()) return;
   for (;;) {
-    Frame frame;
-    const ReadStatus st = read_frame(slot->sock, frame);
-    if (st == ReadStatus::kClosed) break;  // orderly close
-    if (st == ReadStatus::kTruncated) {
-      // Mid-frame disconnect or stalled peer: count it, close quietly —
-      // there is no guarantee the peer can still read an error frame.
-      metrics_.on_malformed_frame();
-      break;
-    }
-    if (st == ReadStatus::kOversized) {
-      metrics_.on_malformed_frame();
-      write_frame(slot->sock, FrameTag::kError,
-                  encode_error(ErrorCode::kOversizedFrame,
-                               "declared frame length exceeds the cap"));
-      break;
-    }
-    if (!handle_frame(slot->sock, frame, upload)) break;
+    util::Socket conn = util::accept_connection(listener);
+    if (!conn.valid()) break;  // EAGAIN: accepted everything pending
+    conn.set_nonblocking();
+    metrics_.on_connection();
+    auto c = std::make_unique<Connection>();
+    c->key = next_conn_key_++;
+    c->sock = std::move(conn);
+    c->last_activity_us = obs::now_us();
+    poller_->add(c->sock.fd(), c->key, true, false);
+    conns_.emplace(c->key, std::move(c));
   }
-  {
-    std::lock_guard lock(conns_mutex_);
-    slot->sock.close();
-  }
-  slot->done.store(true);
 }
 
-bool Server::handle_frame(util::Socket& sock, Frame& frame,
-                          UploadState& upload) {
+void Server::destroy_connection(std::uint64_t key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  poller_->remove(it->second->sock.fd());
+  conns_.erase(it);
+}
+
+void Server::queue_output(Connection& conn, FrameTag tag,
+                          std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> wire = make_wire_frame(tag, payload);
+  conn.outbuf.insert(conn.outbuf.end(), wire.begin(), wire.end());
+}
+
+/// Sends as much of outbuf as the socket takes. Leaves the rest for the
+/// next writable event. Throws nothing; a hard send error marks the
+/// connection for destruction via close_after_flush + cleared buffer.
+void Server::flush_output(Connection& conn) {
+  while (conn.has_unsent()) {
+    const std::ptrdiff_t k = conn.sock.send_nonblocking(
+        conn.outbuf.data() + conn.out_off, conn.outbuf.size() - conn.out_off);
+    if (k == util::Socket::kIoError) {
+      // Peer is gone; drop whatever we had for it.
+      conn.outbuf.clear();
+      conn.out_off = 0;
+      conn.close_after_flush = true;
+      return;
+    }
+    if (k == 0) break;  // kernel buffer full; wait for writable
+    conn.out_off += static_cast<std::size_t>(k);
+  }
+  if (!conn.has_unsent()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+  }
+}
+
+void Server::on_connection_event(const util::PollEvent& ev,
+                                 std::uint64_t now_us) {
+  auto it = conns_.find(ev.key);
+  if (it == conns_.end()) return;  // destroyed earlier in this batch
+  Connection& conn = *it->second;
+
+  if (ev.error && conn.waiting_result) {
+    // Peer died while its job runs. Error events are reported regardless
+    // of interest, so reap now instead of spinning until the completion
+    // arrives; deliver_completions drops results for vanished clients.
+    if (conn.decoder.mid_frame()) metrics_.on_malformed_frame();
+    destroy_connection(ev.key);
+    return;
+  }
+
+  if (ev.writable) flush_output(conn);
+
+  const bool want_read =
+      !conn.waiting_result && !conn.close_after_flush && !conn.saw_eof;
+  if ((ev.readable || ev.error) && want_read) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      const std::ptrdiff_t k = conn.sock.recv_nonblocking(buf, sizeof(buf));
+      if (k > 0) {
+        conn.last_activity_us = now_us;
+        conn.decoder.feed(buf, static_cast<std::size_t>(k));
+        process_buffered_frames(conn);
+        if (conn.waiting_result || conn.close_after_flush) break;
+        continue;
+      }
+      if (k == util::Socket::kWouldBlock) break;
+      // EOF or hard error. Partial frame bytes at disconnect are the
+      // mid-frame truncation the malformed-frame counter tracks.
+      if (conn.decoder.mid_frame()) metrics_.on_malformed_frame();
+      conn.saw_eof = true;
+      conn.close_after_flush = true;
+      break;
+    }
+  }
+
+  flush_output(conn);
+  if (conn.close_after_flush && !conn.has_unsent() && !conn.waiting_result) {
+    destroy_connection(ev.key);
+    return;
+  }
+
+  const bool read_interest =
+      !conn.waiting_result && !conn.close_after_flush && !conn.saw_eof;
+  const bool write_interest = conn.has_unsent();
+  if (read_interest != conn.poll_read || write_interest != conn.poll_write) {
+    conn.poll_read = read_interest;
+    conn.poll_write = write_interest;
+    poller_->modify(conn.sock.fd(), read_interest, write_interest);
+  }
+}
+
+void Server::process_buffered_frames(Connection& conn) {
+  Frame frame;
+  for (;;) {
+    if (conn.waiting_result || conn.close_after_flush) return;
+    const FrameDecoder::Result r = conn.decoder.next(frame);
+    if (r == FrameDecoder::Result::kNeedMore) return;
+    if (r == FrameDecoder::Result::kOversized) {
+      metrics_.on_malformed_frame();
+      queue_output(conn, FrameTag::kError,
+                   encode_error(ErrorCode::kOversizedFrame,
+                                "declared frame length exceeds the cap"));
+      conn.close_after_flush = true;
+      return;
+    }
+    if (!handle_frame(conn, frame)) {
+      conn.close_after_flush = true;
+      return;
+    }
+  }
+}
+
+bool Server::handle_frame(Connection& conn, Frame& frame) {
+  UploadState& upload = conn.upload;
   const auto protocol_error = [&](ErrorCode code, std::string_view msg) {
     metrics_.on_malformed_frame();
-    write_frame(sock, FrameTag::kError, encode_error(code, msg));
+    queue_output(conn, FrameTag::kError, encode_error(code, msg));
     return false;
   };
 
@@ -255,6 +438,7 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
       if (!frame.payload.empty()) {
         out.write(reinterpret_cast<const char*>(frame.payload.data()),
                   static_cast<std::streamsize>(frame.payload.size()));
+        upload.streamed_bytes += frame.payload.size();
       }
       return true;
     }
@@ -281,47 +465,66 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
       obs::emit("ingest", upload.ingest_start_us, request.ingest_us);
       const std::uint64_t job_id = request.id;
       const bool wait = (upload.header.flags & kSubmitFlagWait) != 0;
+      // Lane: trust the declaration when it is honest, the measured
+      // upload when it is absent or understated.
+      const std::uint64_t effective_bytes =
+          std::max(upload.header.declared_bytes, upload.streamed_bytes);
       upload.reset();
 
-      std::shared_ptr<JobTicket> ticket;
-      JobQueue::EnqueueResult res;
-      {
-        std::lock_guard lock(schedule_mutex_);
-        res = queue_.try_enqueue(std::move(request), ticket);
-        if (res == JobQueue::EnqueueResult::kAccepted) {
-          pool_.submit([this] { run_one_job(); });
+      QueuedJob job;
+      job.request = std::move(request);
+      job.lane = effective_bytes >= options_.bulk_threshold_bytes
+                     ? Lane::kBulk
+                     : Lane::kFast;
+      const std::uint64_t conn_key = conn.key;
+      job.on_done = [this, conn_key, job_id, wait](JobOutcome outcome,
+                                                   bool timed_out) {
+        CompletionMsg msg;
+        msg.conn_key = conn_key;
+        if (wait) {
+          const JobStatus status = timed_out          ? JobStatus::kTimeout
+                                   : outcome.ok       ? JobStatus::kOk
+                                                      : JobStatus::kCheckFailed;
+          obs::Span respond_span("respond");
+          msg.frame = make_wire_frame(
+              FrameTag::kResult,
+              encode_result(status, job_id, verdict_line(outcome),
+                            outcome_json(outcome)));
         }
-      }
+        {
+          std::lock_guard lock(completions_mutex_);
+          completions_.push_back(std::move(msg));
+        }
+        completion_pipe_.notify();
+      };
 
-      if (res == JobQueue::EnqueueResult::kClosed) {
-        write_frame(sock, FrameTag::kError,
-                    encode_error(ErrorCode::kDraining,
-                                 "server is draining; job refused"));
+      const ShardedJobQueue::EnqueueResult res =
+          queue_.try_enqueue(std::move(job));
+
+      if (res == ShardedJobQueue::EnqueueResult::kClosed) {
+        queue_output(conn, FrameTag::kError,
+                     encode_error(ErrorCode::kDraining,
+                                  "server is draining; job refused"));
         return false;
       }
-      if (res == JobQueue::EnqueueResult::kFull) {
+      if (res == ShardedJobQueue::EnqueueResult::kFull) {
         metrics_.on_rejected_busy();
         std::vector<std::uint8_t> payload;
         append_u32le(payload, static_cast<std::uint32_t>(queue_.capacity()));
-        write_frame(sock, FrameTag::kBusy, payload);
+        queue_output(conn, FrameTag::kBusy, payload);
         return true;  // connection stays usable
       }
 
       metrics_.on_accepted();
+      ++pending_jobs_;
       std::vector<std::uint8_t> payload;
       append_u64le(payload, job_id);
-      if (!write_frame(sock, FrameTag::kAccepted, payload)) return false;
+      queue_output(conn, FrameTag::kAccepted, payload);
       if (wait) {
-        ticket->wait();
-        const JobStatus status = ticket->timed_out ? JobStatus::kTimeout
-                                 : ticket->outcome.ok
-                                     ? JobStatus::kOk
-                                     : JobStatus::kCheckFailed;
-        obs::Span respond_span("respond");
-        const std::vector<std::uint8_t> result = encode_result(
-            status, job_id, verdict_line(ticket->outcome),
-            outcome_json(ticket->outcome));
-        if (!write_frame(sock, FrameTag::kResult, result)) return false;
+        // Pause reads until the worker's result frame is delivered; the
+        // client is parked in read_frame anyway, and pipelined frames
+        // stay buffered in the decoder / kernel until then.
+        conn.waiting_result = true;
       }
       return true;
     }
@@ -331,7 +534,12 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
         return protocol_error(ErrorCode::kProtocolViolation,
                               "STATS during an upload");
       }
-      return write_frame(sock, FrameTag::kStatsJson, metrics_json());
+      const std::string json = metrics_json();
+      queue_output(conn, FrameTag::kStatsJson,
+                   std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(json.data()),
+                       json.size()));
+      return true;
     }
 
     case FrameTag::kStatsProm: {
@@ -339,8 +547,12 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
         return protocol_error(ErrorCode::kProtocolViolation,
                               "STATS_PROM during an upload");
       }
-      return write_frame(sock, FrameTag::kStatsPromText,
-                         metrics_prometheus());
+      const std::string text = metrics_prometheus();
+      queue_output(conn, FrameTag::kStatsPromText,
+                   std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()));
+      return true;
     }
 
     default:
@@ -351,12 +563,81 @@ bool Server::handle_frame(util::Socket& sock, Frame& frame,
   }
 }
 
-void Server::run_one_job() {
-  auto item = queue_.try_pop();
-  if (!item) return;
-  JobRequest request = std::move(item->first);
-  std::shared_ptr<JobTicket> ticket = std::move(item->second);
+void Server::deliver_completions() {
+  completion_pipe_.drain();
+  std::vector<CompletionMsg> msgs;
+  {
+    std::lock_guard lock(completions_mutex_);
+    msgs.swap(completions_);
+  }
+  for (CompletionMsg& msg : msgs) {
+    if (pending_jobs_ > 0) --pending_jobs_;
+    auto it = conns_.find(msg.conn_key);
+    if (it == conns_.end()) continue;  // client vanished; drop the result
+    Connection& conn = *it->second;
+    if (!msg.frame.empty()) {
+      conn.outbuf.insert(conn.outbuf.end(), msg.frame.begin(),
+                         msg.frame.end());
+    }
+    conn.waiting_result = false;
+    conn.last_activity_us = obs::now_us();
+    // Frames the client pipelined behind the wait-mode submit were left
+    // in the decoder; resume them now that the result is on its way.
+    process_buffered_frames(conn);
+    flush_output(conn);
+    if (conn.close_after_flush && !conn.has_unsent() &&
+        !conn.waiting_result) {
+      destroy_connection(msg.conn_key);
+      continue;
+    }
+    const bool read_interest =
+        !conn.waiting_result && !conn.close_after_flush && !conn.saw_eof;
+    const bool write_interest = conn.has_unsent();
+    if (read_interest != conn.poll_read ||
+        write_interest != conn.poll_write) {
+      conn.poll_read = read_interest;
+      conn.poll_write = write_interest;
+      poller_->modify(conn.sock.fd(), read_interest, write_interest);
+    }
+  }
+}
 
+void Server::sweep_idle(std::uint64_t now_us) {
+  const std::uint64_t limit_us =
+      static_cast<std::uint64_t>(options_.idle_timeout_ms) * 1000;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = *it->second;
+    // last_activity_us can postdate now_us (stamped later in the same
+    // event batch), so compare saturating — never unsigned-underflow.
+    if (conn.waiting_result || conn.last_activity_us >= now_us ||
+        now_us - conn.last_activity_us <= limit_us) {
+      ++it;
+      continue;
+    }
+    // Stalled peer. Partial frame bytes make it a truncation (the
+    // blocking server's SO_RCVTIMEO path counted exactly this case).
+    if (conn.decoder.mid_frame()) metrics_.on_malformed_frame();
+    poller_->remove(conn.sock.fd());
+    it = conns_.erase(it);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Worker pool
+// ----------------------------------------------------------------------
+
+void Server::worker_main(unsigned worker) {
+  // One arena per worker, reused across every job this worker runs:
+  // concurrent checks never contend on clause allocation, and steady
+  // traffic recycles chunk memory instead of round-tripping malloc.
+  util::ClauseArena arena;
+  while (auto job = queue_.pop_blocking(worker)) {
+    execute_job(std::move(*job), arena);
+  }
+}
+
+void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
+  JobRequest request = std::move(job.request);
   running_jobs_.fetch_add(1);
   const auto start = Clock::now();
   const bool has_deadline = request.timeout_ms > 0;
@@ -392,7 +673,7 @@ void Server::run_one_job() {
     obs::Span run_span("run");
     outcome = run_check(request.cnf_file.path().string(),
                         request.trace_file.path().string(), request.backend,
-                        request.jobs);
+                        request.jobs, &arena);
     run_span.finish();
     if (has_deadline && Clock::now() > deadline) {
       // Soft timeout: checking is not preemptible, so an overlong job is
@@ -425,7 +706,9 @@ void Server::run_one_job() {
                           outcome.stats.arena_peak_bytes);
   }
   running_jobs_.fetch_sub(1);
-  ticket->complete(std::move(outcome), timed_out);
+  // The dump (if any) is already on stderr: the result frame the client
+  // sees is always preceded by its slow-job report.
+  if (job.on_done) job.on_done(std::move(outcome), timed_out);
 }
 
 }  // namespace satproof::service

@@ -3,17 +3,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "src/service/job_queue.hpp"
 #include "src/service/metrics.hpp"
 #include "src/service/protocol.hpp"
+#include "src/util/arena.hpp"
+#include "src/util/epoll.hpp"
 #include "src/util/socket.hpp"
-#include "src/util/thread_pool.hpp"
 
 namespace satproof::service {
 
@@ -26,26 +28,35 @@ struct ServerOptions {
   bool enable_tcp = false;
   std::uint16_t tcp_port = 0;  ///< 0 = ephemeral (see tcp_port())
 
-  unsigned jobs = 0;              ///< checker worker threads (0 = hardware)
+  unsigned workers = 0;  ///< checker worker threads (0 = hardware threads)
   std::size_t queue_capacity = 64;  ///< pending jobs before BUSY
   std::uint32_t default_timeout_ms = 0;  ///< per-job budget; 0 = unlimited
   /// Idle-connection guard: a peer that stalls mid-frame (or goes silent)
-  /// is dropped after this long instead of pinning a connection thread
+  /// is dropped after this long instead of holding a connection slot
   /// forever. 0 disables.
   std::uint32_t idle_timeout_ms = 30000;
   /// Jobs whose wall time exceeds this dump their span tree to stderr
   /// (one block per slow job) and bump the slow-job counter. 0 disables
   /// per-job span collection entirely.
   std::uint32_t slow_job_ms = 0;
+  /// Upload size (declared, or measured when undeclared) at which a job
+  /// is scheduled on the bulk lane instead of the fast lane.
+  std::uint64_t bulk_threshold_bytes = kBulkLaneThresholdBytes;
 };
 
 /// The satproofd daemon: accepts proof-checking jobs over the framed
 /// protocol (src/service/protocol.hpp), streams uploads to temp files,
-/// schedules checking runs on a util::ThreadPool behind a bounded
-/// JobQueue, and serves live metrics.
+/// schedules checking runs on a sharded work-stealing worker pool behind
+/// a bounded two-lane queue, and serves live metrics.
 ///
-/// Threading: one listener thread (poll over the listen sockets plus the
-/// drain wake pipe), one thread per live connection, and the checker pool.
+/// Threading: ONE I/O thread runs an EventPoller (epoll on Linux) over
+/// the listeners, a drain pipe, a completion pipe, and every live
+/// connection — all non-blocking, so a slow or stalled uploader costs a
+/// buffer, never a thread, and dead connections are reaped the moment
+/// they close. N worker threads (one queue shard + one recycled
+/// ClauseArena each) pull jobs fast-lane-first from their own shard and
+/// steal from others when idle; finished results travel back to the I/O
+/// thread over the completion pipe for non-blocking delivery.
 /// Ingestion never buffers a whole trace in memory — upload chunks go
 /// straight to disk, and the checkers then read the file through the mmap
 /// ByteSource path.
@@ -62,12 +73,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the listeners and starts the listener thread. Throws
+  /// Binds the listeners and starts the I/O and worker threads. Throws
   /// std::runtime_error when no transport is configured or a bind fails.
   void start();
 
   /// Actual TCP port (resolves an ephemeral request); 0 when TCP is off.
   [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Worker threads actually running (resolves workers == 0).
+  [[nodiscard]] unsigned worker_count() const { return worker_count_; }
 
   /// Async-signal-safe drain trigger for SIGTERM/SIGINT handlers: only
   /// writes one byte to a pipe.
@@ -93,48 +107,67 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
-  struct ConnSlot {
-    util::Socket sock;
-    std::atomic<bool> done{false};
-    std::jthread thread;  ///< last member: joins before sock dies
+  struct Connection;  // I/O-thread-private; defined in server.cpp
+
+  /// Result frame (or empty wakeup for a no-wait job) travelling from a
+  /// worker back to the I/O thread.
+  struct CompletionMsg {
+    std::uint64_t conn_key = 0;
+    std::vector<std::uint8_t> frame;  ///< full wire frame; empty = no reply
   };
 
-  void listener_loop();
-  void connection_main(ConnSlot* slot);
-  /// Returns false when the connection must close.
-  bool handle_frame(util::Socket& sock, Frame& frame,
-                    struct UploadState& upload);
-  void run_one_job();
-  void reap_finished_connections();
-  void finish_drain();
+  void io_loop();
+  void accept_ready(util::Socket& listener);
+  void on_connection_event(const util::PollEvent& ev, std::uint64_t now_us);
+  /// Returns false when the connection must close (after flushing).
+  bool handle_frame(Connection& conn, Frame& frame);
+  void process_buffered_frames(Connection& conn);
+  void queue_output(Connection& conn, FrameTag tag,
+                    std::span<const std::uint8_t> payload);
+  void flush_output(Connection& conn);
+  void destroy_connection(std::uint64_t key);
+  void deliver_completions();
+  void sweep_idle(std::uint64_t now_us);
+  void begin_drain();
+  [[nodiscard]] bool drain_complete() const;
+
+  void worker_main(unsigned worker);
+  void execute_job(QueuedJob job, util::ClauseArena& arena);
+  [[nodiscard]] std::vector<ShardedJobQueue::ShardSnapshot>
+  shard_snapshots() const;
 
   ServerOptions options_;
+  unsigned worker_count_ = 1;
   util::Socket unix_listener_;
   util::Socket tcp_listener_;
   std::uint16_t tcp_port_ = 0;
-  util::WakePipe wake_pipe_;
+  util::WakePipe wake_pipe_;        ///< drain trigger (async-signal-safe)
+  util::WakePipe completion_pipe_;  ///< worker -> I/O thread wakeup
 
   Metrics metrics_;
-  JobQueue queue_;
-  util::ThreadPool pool_;
+  ShardedJobQueue queue_;
   std::atomic<std::size_t> running_jobs_{0};
   std::atomic<std::uint64_t> next_job_id_{1};
   std::atomic<bool> draining_{false};
 
-  /// Serializes job admission against drain: an admitted job always has
-  /// its pool task submitted before the queue closes, so the drain's
-  /// wait_idle() covers every ticket and no waiter can be stranded.
-  std::mutex schedule_mutex_;
+  /// Completion mailbox: workers push under the mutex and notify the
+  /// completion pipe; the I/O thread swaps the vector out.
+  std::mutex completions_mutex_;
+  std::vector<CompletionMsg> completions_;
 
-  std::mutex conns_mutex_;
-  std::list<std::unique_ptr<ConnSlot>> conns_;
+  // --- I/O-thread-only state (no locks: one owner) ----------------------
+  std::unique_ptr<util::EventPoller> poller_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_key_ = 16;  ///< 0-3 are listener/pipe keys
+  std::size_t pending_jobs_ = 0;  ///< admitted, completion not yet handled
 
   std::mutex state_mutex_;
   std::condition_variable state_cv_;
   bool started_ = false;
   bool drained_ = false;
 
-  std::jthread listener_thread_;
+  std::vector<std::jthread> workers_;
+  std::jthread io_thread_;
 };
 
 }  // namespace satproof::service

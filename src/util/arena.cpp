@@ -22,7 +22,18 @@ ClauseArena::Ref ClauseArena::bump(std::uint32_t slots) {
     return static_cast<Ref>((chunks_.size() - 1) << 16);
   }
 
-  if (chunks_.empty() || chunks_.back().used + slots > chunks_.back().capacity) {
+  // Advance past chunks that cannot fit this block. After a reset() the
+  // walk revisits retained chunks in order; refs can only address the
+  // first 2^16 slots of a chunk, so an oversized (exact-size) chunk only
+  // exposes that prefix when reused as bump space.
+  while (active_ < chunks_.size()) {
+    const Chunk& c = chunks_[active_];
+    const std::uint32_t usable = std::min(c.capacity, kMaxChunkSlots);
+    if (c.used + slots <= usable) break;
+    ++active_;
+  }
+
+  if (active_ == chunks_.size()) {
     if (chunks_.size() >= kMaxChunks) {
       throw std::runtime_error("clause arena: chunk table exhausted");
     }
@@ -36,10 +47,22 @@ ClauseArena::Ref ClauseArena::bump(std::uint32_t slots) {
     chunks_.push_back(std::move(chunk));
   }
 
-  Chunk& chunk = chunks_.back();
+  Chunk& chunk = chunks_[active_];
   const auto offset = chunk.used;
   chunk.used += slots;
-  return static_cast<Ref>(((chunks_.size() - 1) << 16) | offset);
+  return static_cast<Ref>((active_ << 16) | offset);
+}
+
+void ClauseArena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  free_lists_.clear();
+  tracker_.reset();
+  allocated_ = 0;
+  recycled_ = 0;
+  live_clauses_ = 0;
+  // next_chunk_slots_ keeps its growth state: a worker that has already
+  // checked a large trace should not re-grow from tiny chunks.
 }
 
 ClauseArena::Ref ClauseArena::put(std::span<const Lit> lits) {

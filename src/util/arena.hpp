@@ -105,6 +105,15 @@ class ClauseArena {
   /// Number of live (not released) clauses.
   [[nodiscard]] std::size_t live_clauses() const { return live_clauses_; }
 
+  /// Forgets every clause while keeping the chunk memory mapped, so a
+  /// long-lived arena (one per satproofd worker) serves its next check
+  /// without re-growing through malloc. All refs become invalid. Counters,
+  /// free lists, and the live-bytes tracker restart from zero, so the
+  /// per-run statistics (allocated / recycled / peak) are identical to a
+  /// freshly constructed arena's — they count clause-block bytes, which do
+  /// not depend on how chunk memory was obtained.
+  void reset();
+
  private:
   struct Chunk {
     std::unique_ptr<Lit[]> data;
@@ -120,6 +129,7 @@ class ClauseArena {
   Ref bump(std::uint32_t slots);
 
   std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< first chunk bump() may still fill
   std::vector<std::vector<Ref>> free_lists_;  ///< indexed by clause length
   MemTracker tracker_;                        ///< live block bytes
   std::size_t allocated_ = 0;

@@ -1,0 +1,193 @@
+#include "src/util/epoll.hpp"
+
+#include <stdexcept>
+
+#if !defined(_WIN32)
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace satproof::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+#if defined(__linux__)
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+#endif
+
+}  // namespace
+
+EventPoller::EventPoller(Backend backend) {
+#if defined(__linux__)
+  if (backend == Backend::kAuto) backend = Backend::kEpoll;
+#else
+  if (backend == Backend::kAuto) backend = Backend::kPoll;
+  if (backend == Backend::kEpoll) {
+    throw std::runtime_error("epoll backend is only available on Linux");
+  }
+#endif
+  backend_ = backend;
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  }
+#endif
+}
+
+EventPoller::~EventPoller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+EventPoller::Entry* EventPoller::find(int fd) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) return &e;
+  }
+  return nullptr;
+}
+
+void EventPoller::add(int fd, std::uint64_t key, bool want_read,
+                      bool want_write) {
+  if (find(fd) != nullptr) {
+    throw std::runtime_error("EventPoller::add: fd already registered");
+  }
+  entries_.push_back(Entry{fd, key, want_read, want_write});
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = key;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      entries_.pop_back();
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+}
+
+void EventPoller::modify(int fd, bool want_read, bool want_write) {
+  Entry* e = find(fd);
+  if (e == nullptr) {
+    throw std::runtime_error("EventPoller::modify: fd not registered");
+  }
+  e->want_read = want_read;
+  e->want_write = want_write;
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = e->key;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      throw_errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+}
+
+void EventPoller::remove(int fd) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fd != fd) continue;
+#if defined(__linux__)
+    if (backend_ == Backend::kEpoll) {
+      epoll_event ev{};  // non-null for pre-2.6.9 kernel ABI compatibility
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+    }
+#endif
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
+std::size_t EventPoller::wait(int timeout_ms, std::vector<PollEvent>& out) {
+  out.clear();
+#if defined(__linux__)
+  if (backend_ == Backend::kEpoll) {
+    epoll_event evs[64];
+    int n;
+    for (;;) {
+      n = ::epoll_wait(epoll_fd_, evs, 64, timeout_ms);
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (n < 0) throw_errno("epoll_wait");
+    for (int i = 0; i < n; ++i) {
+      PollEvent pe;
+      pe.key = evs[i].data.u64;
+      pe.readable = (evs[i].events & EPOLLIN) != 0;
+      pe.writable = (evs[i].events & EPOLLOUT) != 0;
+      pe.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(pe);
+    }
+    return out.size();
+  }
+#endif
+  // poll(2) backend: rebuild the pollfd array from the registration table.
+  std::vector<pollfd> pfds;
+  pfds.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    pollfd p{};
+    p.fd = e.fd;
+    if (e.want_read) p.events |= POLLIN;
+    if (e.want_write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  if (pfds.empty()) {
+    // Nothing registered: honour the timeout so callers can still use the
+    // wait as a sleep (matches epoll_wait on an empty interest set).
+    if (timeout_ms != 0) ::poll(nullptr, 0, timeout_ms);
+    return 0;
+  }
+  int r;
+  for (;;) {
+    r = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    break;
+  }
+  if (r < 0) throw_errno("poll");
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    const short rev = pfds[i].revents;
+    if (rev == 0) continue;
+    PollEvent pe;
+    pe.key = entries_[i].key;
+    pe.readable = (rev & POLLIN) != 0;
+    pe.writable = (rev & POLLOUT) != 0;
+    pe.error = (rev & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(pe);
+  }
+  return out.size();
+}
+
+}  // namespace satproof::util
+
+#else  // _WIN32 — no poll/epoll; keep the interface compiling.
+
+namespace satproof::util {
+
+EventPoller::EventPoller(Backend) {
+  throw std::runtime_error("EventPoller is not supported on this platform");
+}
+EventPoller::~EventPoller() = default;
+EventPoller::Entry* EventPoller::find(int) { return nullptr; }
+void EventPoller::add(int, std::uint64_t, bool, bool) {}
+void EventPoller::modify(int, bool, bool) {}
+void EventPoller::remove(int) {}
+std::size_t EventPoller::wait(int, std::vector<PollEvent>&) { return 0; }
+
+}  // namespace satproof::util
+
+#endif

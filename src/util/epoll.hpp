@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace satproof::util {
+
+/// One readiness notification from EventPoller::wait.
+struct PollEvent {
+  std::uint64_t key = 0;  ///< caller-chosen identifier passed to add()
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup on the descriptor. The caller should attempt a final
+  /// read (to observe EOF / errno) and then drop the connection.
+  bool error = false;
+};
+
+/// Level-triggered readiness multiplexer for the service's single I/O
+/// thread. On Linux the default backend is epoll(7), which stays O(ready)
+/// per wakeup no matter how many idle uploads are parked; everywhere else
+/// (and on Linux when explicitly requested, so both paths stay tested) a
+/// portable poll(2) backend provides identical semantics at O(fds) per
+/// wakeup. Descriptors are registered under a caller-chosen 64-bit key;
+/// the poller never owns them.
+///
+/// Not thread-safe: one thread owns an EventPoller for its whole life.
+class EventPoller {
+ public:
+  enum class Backend {
+    kAuto,  ///< epoll on Linux, poll elsewhere
+    kEpoll,
+    kPoll,
+  };
+
+  /// Throws std::runtime_error if the requested backend is unavailable
+  /// (kEpoll off Linux, or epoll_create1 failure).
+  explicit EventPoller(Backend backend = Backend::kAuto);
+  ~EventPoller();
+
+  EventPoller(const EventPoller&) = delete;
+  EventPoller& operator=(const EventPoller&) = delete;
+
+  /// Backend actually in use (kAuto resolved).
+  [[nodiscard]] Backend backend() const { return backend_; }
+
+  /// Registers `fd` under `key`. `fd` must not already be registered.
+  void add(int fd, std::uint64_t key, bool want_read, bool want_write);
+
+  /// Updates the interest set of a registered descriptor.
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Unregisters a descriptor. Safe to call for an fd that was never
+  /// added (no-op), so teardown paths need no bookkeeping.
+  void remove(int fd);
+
+  /// Number of registered descriptors.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Blocks until at least one registered descriptor is ready or
+  /// `timeout_ms` elapses (< 0 = wait forever). Clears and fills `out`;
+  /// returns the number of events. EINTR is retried with the original
+  /// timeout, which is fine for the service's coarse sweep cadence.
+  std::size_t wait(int timeout_ms, std::vector<PollEvent>& out);
+
+ private:
+  struct Entry {
+    int fd = -1;
+    std::uint64_t key = 0;
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  Entry* find(int fd);
+
+  Backend backend_ = Backend::kPoll;
+  int epoll_fd_ = -1;
+  // Registration table. The poll backend scans it on every wait; the epoll
+  // backend keeps it only for key lookup and size(). Linear search is fine:
+  // add/modify/remove are per-connection-lifetime events, not per-byte.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace satproof::util

@@ -88,6 +88,33 @@ void Socket::set_recv_timeout_ms(unsigned ms) noexcept {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+bool Socket::set_nonblocking() noexcept {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::ptrdiff_t Socket::recv_nonblocking(void* data, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t k = ::recv(fd_, data, n, 0);
+    if (k >= 0) return k;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return kIoError;
+  }
+}
+
+std::ptrdiff_t Socket::send_nonblocking(const void* data,
+                                        std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t k = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (k >= 0) return k;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return kIoError;
+  }
+}
+
 Socket listen_unix(const std::string& path, int backlog) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -254,6 +281,13 @@ bool Socket::send_all(const void*, std::size_t) noexcept { return false; }
 std::ptrdiff_t Socket::recv_some(void*, std::size_t) noexcept { return -1; }
 std::size_t Socket::recv_exact(void*, std::size_t) noexcept { return 0; }
 void Socket::set_recv_timeout_ms(unsigned) noexcept {}
+bool Socket::set_nonblocking() noexcept { return false; }
+std::ptrdiff_t Socket::recv_nonblocking(void*, std::size_t) noexcept {
+  return kIoError;
+}
+std::ptrdiff_t Socket::send_nonblocking(const void*, std::size_t) noexcept {
+  return kIoError;
+}
 
 Socket listen_unix(const std::string&, int) { unsupported(); }
 Socket listen_tcp_localhost(std::uint16_t, int) { unsupported(); }

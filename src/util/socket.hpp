@@ -56,6 +56,26 @@ class Socket {
   /// forever on a stalled peer. 0 disables the timeout.
   void set_recv_timeout_ms(unsigned ms) noexcept;
 
+  /// Puts the descriptor in O_NONBLOCK mode (the event-loop server runs
+  /// every accepted connection and listener non-blocking). Returns false
+  /// on failure.
+  bool set_nonblocking() noexcept;
+
+  /// Non-blocking read for event-loop use. Returns the byte count (> 0),
+  /// 0 on orderly close, kWouldBlock when no data is available, or
+  /// kIoError on a hard error. EINTR is retried.
+  std::ptrdiff_t recv_nonblocking(void* data, std::size_t n) noexcept;
+
+  /// Non-blocking write for event-loop use. Returns the number of bytes
+  /// accepted (>= 0; 0 means the send buffer is full, try again on the
+  /// next writable event), or kIoError on a hard error. EINTR is retried.
+  std::ptrdiff_t send_nonblocking(const void* data, std::size_t n) noexcept;
+
+  /// recv_nonblocking: no data available right now.
+  static constexpr std::ptrdiff_t kWouldBlock = -1;
+  /// recv_nonblocking / send_nonblocking: unrecoverable socket error.
+  static constexpr std::ptrdiff_t kIoError = -2;
+
  private:
   int fd_ = -1;
 };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -82,7 +83,7 @@ class ServiceE2E : public ::testing::Test {
   /// Starts a fresh server on a unique unix socket.
   void start_server(ServerOptions opts = {}) {
     opts.unix_socket_path = socket_file_.path().string();
-    if (opts.jobs == 0) opts.jobs = 1;
+    if (opts.workers == 0) opts.workers = 1;
     server_.emplace(std::move(opts));
     server_->start();
   }
@@ -179,7 +180,7 @@ TEST_F(ServiceE2E, OneConnectionCanCarryManyJobs) {
 
 TEST_F(ServiceE2E, ConcurrentClientsAllVerify) {
   ServerOptions opts;
-  opts.jobs = 2;
+  opts.workers = 2;
   start_server(opts);
   const Backend backends[4] = {Backend::kDf, Backend::kBf, Backend::kHybrid,
                                Backend::kParallel};
@@ -207,7 +208,7 @@ TEST_F(ServiceE2E, ConcurrentClientsAllVerify) {
 
 TEST_F(ServiceE2E, QueueFullAnswersBusyAndConnectionSurvives) {
   ServerOptions opts;
-  opts.jobs = 1;
+  opts.workers = 1;
   opts.queue_capacity = 1;
   start_server(opts);
 
@@ -386,6 +387,93 @@ TEST_F(ServiceE2E, WaitModeResultSurvivesAConcurrentDrain) {
   } else {
     EXPECT_FALSE(reply.transport_ok);
   }
+}
+
+TEST_F(ServiceE2E, SlowUploaderCannotStallOtherClients) {
+  // Slowloris: one client trickles a SUBMIT upload byte by byte and never
+  // finishes. Under the old thread-per-connection server this pinned a
+  // thread; under the event loop it must cost only a buffer, and an
+  // ordinary client submitted meanwhile must complete promptly.
+  start_server();
+  util::Socket slow = util::connect_unix(socket_file_.path().string());
+  SubmitHeader header;
+  const std::vector<std::uint8_t> submit_payload =
+      encode_submit_header(header);
+  std::vector<std::uint8_t> wire;
+  wire.push_back(static_cast<std::uint8_t>(FrameTag::kSubmit));
+  append_u32le(wire, static_cast<std::uint32_t>(submit_payload.size()));
+  wire.insert(wire.end(), submit_payload.begin(), submit_payload.end());
+  // Trickle the first few bytes only, leaving the frame forever unfinished.
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(slow.send_all(&wire[i], 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  Client client = connect();
+  const Client::SubmitReply reply =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, true);
+  ASSERT_TRUE(reply.transport_ok) << reply.error;
+  ASSERT_TRUE(reply.have_result);
+  EXPECT_EQ(reply.status, JobStatus::kOk);
+
+  // Keep trickling: the stalled connection is still alive and still slow,
+  // and the server still answers everyone else.
+  ASSERT_TRUE(slow.send_all(&wire[3], 1));
+  std::string error;
+  EXPECT_FALSE(client.stats_json(&error).empty()) << error;
+}
+
+TEST_F(ServiceE2E, ClosedConnectionsAreReapedWithoutNewAccepts) {
+  // A wave of short-lived connections must be reaped promptly by the
+  // event loop itself — not parked until the next accept, as the old
+  // reap-on-accept scheme did. The follow-up client is only connected
+  // after the wave is fully closed, so it cannot be the trigger.
+  start_server();
+  for (int i = 0; i < 32; ++i) {
+    util::Socket sock = util::connect_unix(socket_file_.path().string());
+    ASSERT_TRUE(write_frame(sock, FrameTag::kStats));
+    Frame frame;
+    ASSERT_EQ(read_frame(sock, frame), ReadStatus::kFrame);
+    ASSERT_EQ(frame.tag, FrameTag::kStatsJson);
+  }
+  Client client = connect();
+  std::string error;
+  const std::string json = client.stats_json(&error);
+  ASSERT_FALSE(json.empty()) << error;
+  EXPECT_NE(json.find("\"connections\":33"), std::string::npos);
+}
+
+TEST_F(ServiceE2E, MultiWorkerServerMatchesDirectVerdicts) {
+  // Four workers, concurrent mixed-backend jobs: scheduling across shards
+  // (including steals) must never change a verdict.
+  ServerOptions opts;
+  opts.workers = 4;
+  start_server(opts);
+  ASSERT_EQ(server_->worker_count(), 4u);
+
+  constexpr int kClients = 8;
+  const Backend backends[4] = {Backend::kDf, Backend::kBf, Backend::kHybrid,
+                               Backend::kParallel};
+  std::vector<std::thread> threads;
+  std::vector<Client::SubmitReply> replies(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &backends, &replies] {
+      Client client = connect();
+      replies[i] = client.submit(fx_->php4(), fx_->trace4(),
+                                 backends[i % 4], true);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(replies[i].transport_ok) << replies[i].error;
+    EXPECT_EQ(replies[i].status, JobStatus::kOk);
+    const JobOutcome direct =
+        run_check(fx_->php4(), fx_->trace4(), backends[i % 4]);
+    EXPECT_EQ(replies[i].verdict, verdict_line(direct));
+  }
+  const std::string json = server_->metrics_json();
+  EXPECT_NE(json.find("\"completed\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);  // workers block
 }
 
 }  // namespace

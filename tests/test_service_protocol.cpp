@@ -180,7 +180,7 @@ class ServiceProtocolSweep : public ::testing::Test {
   void SetUp() override {
     ServerOptions opts;
     opts.unix_socket_path = socket_file_.path().string();
-    opts.jobs = 1;
+    opts.workers = 1;
     // A hostile client that stalls should be dropped quickly, not pin a
     // connection thread for the default 30 s.
     opts.idle_timeout_ms = 500;

@@ -80,6 +80,8 @@ def extract(bench, baseline_doc, current_doc):
             out = {}
             for run in doc.get("runs", []):
                 out["seconds[clients=%d]" % run["clients"]] = run["seconds"]
+            for run in doc.get("worker_sweep", []):
+                out["seconds[workers=%d]" % run["workers"]] = run["seconds"]
             return out
 
         return per_run(base), per_run(cur), base.get("suite"), cur.get("suite")

@@ -102,7 +102,9 @@ usage:
       run satproofd, the batch proof-checking daemon (see docs/SERVICE.md)
       --socket PATH    listen on a unix-domain socket (first-class)
       --tcp PORT       also listen on 127.0.0.1:PORT (0 = ephemeral)
-      --jobs N         checker worker threads (default: all hardware)
+      --workers N      checker worker threads, one queue shard each
+                       (default: all hardware threads; --jobs is a
+                       deprecated alias)
       --queue N        pending-job capacity before BUSY (default 64)
       --timeout-ms N   default per-job wall-clock budget (0 = unlimited)
       --idle-timeout-ms N  drop connections silent this long (default 30000)
@@ -721,9 +723,13 @@ int cmd_serve(Args args, std::ostream& out, std::ostream&) {
     opts.enable_tcp = true;
     opts.tcp_port = static_cast<std::uint16_t>(parse_u64(*v, "--tcp"));
   }
-  if (const auto v = args.take_option("--jobs")) {
-    opts.jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
-    if (opts.jobs == 0) throw CliError("--jobs must be at least 1");
+  if (const auto v = args.take_option("--workers")) {
+    opts.workers = static_cast<unsigned>(parse_u64(*v, "--workers"));
+    if (opts.workers == 0) throw CliError("--workers must be at least 1");
+  }
+  if (const auto v = args.take_option("--jobs")) {  // deprecated alias
+    opts.workers = static_cast<unsigned>(parse_u64(*v, "--jobs"));
+    if (opts.workers == 0) throw CliError("--jobs must be at least 1");
   }
   if (const auto v = args.take_option("--queue")) {
     opts.queue_capacity = parse_u64(*v, "--queue");
@@ -752,9 +758,8 @@ int cmd_serve(Args args, std::ostream& out, std::ostream&) {
     out << " on " << opts.unix_socket_path;
   }
   if (opts.enable_tcp) out << " (tcp 127.0.0.1:" << server.tcp_port() << ")";
-  out << ", " << (opts.jobs == 0 ? std::string("hw") :
-                  std::to_string(opts.jobs))
-      << " workers, queue " << opts.queue_capacity << "\n";
+  out << ", " << server.worker_count() << " workers, queue "
+      << opts.queue_capacity << "\n";
   out.flush();
 
   g_signal_server.store(&server, std::memory_order_release);

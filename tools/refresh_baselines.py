@@ -42,7 +42,7 @@ def min_into(target, other):
     for key, value in other.items():
         if isinstance(value, dict):
             min_into(target[key], value)
-        elif isinstance(value, list) and key == "runs":
+        elif isinstance(value, list) and key in ("runs", "worker_sweep"):
             for t, o in zip(target[key], value):
                 min_into(t, o)
         elif isinstance(value, (int, float)) and key.endswith("seconds"):
