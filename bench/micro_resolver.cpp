@@ -1,0 +1,213 @@
+// Microbenchmark for the replay microarchitecture: ChainResolver step
+// throughput (long-clause and binary-heavy chains) and ClauseArena read
+// bandwidth (streaming first-use-order sweep vs a shuffled pointer
+// chase over the same blocks). Unlike micro_ops (google-benchmark,
+// adaptive iteration counts), this runner uses fixed workloads so the
+// emitted numbers gate in CI via tools/bench_compare.py --bench micro
+// against the "micro_quick" block of BENCH_checkers.json.
+//
+// usage: micro_resolver [--quick] [--json FILE]
+//   --quick      CI-sized workloads (milliseconds total)
+//   --json FILE  write {"bench","quick","suite","totals":{*_seconds}}
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/checker/resolution.hpp"
+#include "src/util/arena.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace satproof;
+
+/// A resolution chain: a long base clause plus one partner per step, each
+/// clashing on exactly one variable of the running clause (the same shape
+/// micro_ops uses, so the two benches corroborate each other).
+struct Chain {
+  checker::SortedClause base;
+  std::vector<checker::SortedClause> partners;
+  Var max_var = 0;
+};
+
+/// Ternary partners: step i resolves away x_i and introduces two fresh
+/// literals, so the running clause grows as real learned-clause chains do.
+Chain make_long_chain(std::size_t base_len, std::size_t steps) {
+  Chain c;
+  for (Var v = 0; v < base_len; ++v) c.base.push_back(Lit::neg(v));
+  for (std::size_t i = 0; i < steps; ++i) {
+    checker::SortedClause p{Lit::pos(static_cast<Var>(i)),
+                            Lit::neg(static_cast<Var>(base_len + 2 * i)),
+                            Lit::neg(static_cast<Var>(base_len + 2 * i + 1))};
+    std::sort(p.begin(), p.end());
+    c.partners.push_back(std::move(p));
+  }
+  c.max_var = static_cast<Var>(base_len + 2 * steps);
+  return c;
+}
+
+/// Binary partners: step i swaps ~x_i for x_(base_len+i), keeping the
+/// running clause at a constant width — the unit-propagation-style chains
+/// that dominate real traces and hit the arena's binary tier.
+Chain make_binary_chain(std::size_t base_len, std::size_t steps) {
+  Chain c;
+  for (Var v = 0; v < base_len; ++v) c.base.push_back(Lit::neg(v));
+  for (std::size_t i = 0; i < steps; ++i) {
+    checker::SortedClause p{Lit::pos(static_cast<Var>(i)),
+                            Lit::pos(static_cast<Var>(base_len + i))};
+    std::sort(p.begin(), p.end());
+    c.partners.push_back(std::move(p));
+  }
+  c.max_var = static_cast<Var>(2 * base_len);
+  return c;
+}
+
+/// Runs `rounds` full chains through one steady-state resolver and returns
+/// the wall seconds. The warm-up chain outside the timer mirrors the
+/// replay backends, which reserve_vars() once per run.
+double time_chain(const Chain& chain, std::size_t rounds,
+                  std::uint64_t& sink) {
+  checker::ChainResolver resolver;
+  resolver.reserve_vars(chain.max_var + 1);
+  const auto run_once = [&] {
+    resolver.start(chain.base);
+    for (const auto& p : chain.partners) {
+      if (resolver.step(p).status != checker::ResolveStatus::Ok) {
+        std::cerr << "FATAL: chain step failed\n";
+        std::exit(1);
+      }
+    }
+    sink += resolver.lits().size();
+  };
+  run_once();
+  util::Timer timer;
+  for (std::size_t r = 0; r < rounds; ++r) run_once();
+  return timer.elapsed_seconds();
+}
+
+/// The arena workload: a trace-shaped mix of binary and longer clauses,
+/// written once in "first-use" order. Returns the refs in that order.
+std::vector<util::ClauseArena::Ref> fill_arena(util::ClauseArena& arena,
+                                               std::size_t num_clauses) {
+  util::Rng rng(42);
+  std::vector<util::ClauseArena::Ref> refs;
+  refs.reserve(num_clauses);
+  std::vector<Lit> lits;
+  for (std::size_t i = 0; i < num_clauses; ++i) {
+    // Half the clauses binary (the dawn-style tier), half 3..10 literals.
+    const std::size_t len =
+        rng.next_bool() ? 2 : 3 + static_cast<std::size_t>(rng.next_below(8));
+    lits.clear();
+    for (std::size_t k = 0; k < len; ++k) {
+      lits.push_back(
+          Lit::from_code(static_cast<std::uint32_t>(rng.next_below(1 << 20))));
+    }
+    refs.push_back(arena.put(lits));
+  }
+  return refs;
+}
+
+/// Sums every literal code reachable through `order` — the read pattern of
+/// a streaming replay (sequential) or an unordered one (shuffled).
+double time_sweep(const util::ClauseArena& arena,
+                  const std::vector<util::ClauseArena::Ref>& refs,
+                  const std::vector<std::uint32_t>& order, std::size_t rounds,
+                  std::uint64_t& sink) {
+  util::Timer timer;
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const std::uint32_t idx : order) {
+      for (const Lit lit : arena.view(refs[idx])) sum += lit.code();
+    }
+  }
+  sink += sum;
+  return timer.elapsed_seconds();
+}
+
+void emit_json(const std::string& path, bool quick,
+               const std::vector<std::pair<std::string, double>>& totals) {
+  std::ofstream js(path);
+  if (!js) {
+    std::cerr << "FATAL: cannot open " << path << "\n";
+    std::exit(1);
+  }
+  js << "{\n  \"bench\": \"micro_resolver\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"suite\": \""
+     << (quick ? "micro-quick" : "micro-standard") << "\",\n  \"totals\": {";
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    js << (i == 0 ? "\n" : ",\n") << "    \"" << totals[i].first
+       << "\": " << totals[i].second;
+  }
+  js << "\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: micro_resolver [--quick] [--json FILE]\n";
+      return 1;
+    }
+  }
+
+  // Fixed workloads; --quick scales the repetition counts only, so the
+  // two modes measure the same kernels on the same data shapes.
+  const std::size_t chain_rounds = quick ? 2000 : 40000;
+  const std::size_t sweep_rounds = quick ? 8 : 120;
+  const std::size_t arena_clauses = 100000;
+
+  std::uint64_t sink = 0;
+  std::vector<std::pair<std::string, double>> totals;
+
+  const Chain long_chain = make_long_chain(64, 64);
+  totals.emplace_back("chain_long_seconds",
+                      time_chain(long_chain, chain_rounds, sink));
+
+  const Chain binary_chain = make_binary_chain(64, 64);
+  totals.emplace_back("chain_binary_seconds",
+                      time_chain(binary_chain, chain_rounds, sink));
+
+  // One arena, two visit orders over identical blocks: the delta is the
+  // price of losing first-use locality.
+  util::ClauseArena arena;
+  const std::vector<util::ClauseArena::Ref> refs =
+      fill_arena(arena, arena_clauses);
+  std::vector<std::uint32_t> order(refs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  totals.emplace_back("arena_stream_seconds",
+                      time_sweep(arena, refs, order, sweep_rounds, sink));
+  util::Rng shuffle_rng(7);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[shuffle_rng.next_below(i)]);
+  }
+  totals.emplace_back("arena_chase_seconds",
+                      time_sweep(arena, refs, order, sweep_rounds, sink));
+
+  std::cout << "micro_resolver (" << (quick ? "quick" : "standard")
+            << " workloads)\n";
+  for (const auto& [name, seconds] : totals) {
+    std::cout << "  " << name << ": " << seconds << "\n";
+  }
+  std::cout << "  (checksum " << sink << ")\n";
+
+  if (!json_path.empty()) {
+    emit_json(json_path, quick, totals);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+  return 0;
+}

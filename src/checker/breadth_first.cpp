@@ -39,6 +39,7 @@ class BreadthFirstChecker {
       }
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
+      chain_.reserve_vars(reader_->num_vars());
       {
         obs::Span span("replay");
         resolution_pass();
@@ -217,15 +218,24 @@ class BreadthFirstChecker {
 
       // Release sources whose last use this was; their arena blocks go on
       // the free lists, so the derived clause below typically reuses one.
+      // The decrements go down as one batch per chain (one virtual call
+      // instead of one per antecedent); the store reports exhausted
+      // ordinals in decrement order, so blocks hit the free lists in the
+      // same sequence the per-antecedent loop produced.
+      ord_scratch_.clear();
       for (const ClauseId s : rec.sources) {
-        if (s < num_original()) continue;
-        if (counts_->decrement(ordinal(s)) == 0) release(s);
+        if (s >= num_original()) ord_scratch_.push_back(ordinal(s));
       }
-      // Keep the freshly built clause only if something still needs it.
+      exhausted_scratch_.clear();
+      counts_->decrement_batch(ord_scratch_, exhausted_scratch_);
+      for (const std::uint64_t ord : exhausted_scratch_) {
+        release(static_cast<ClauseId>(ord) + num_original());
+      }
+      // Keep the freshly built clause only if something still needs it
+      // (stored unsorted — resolution is set-based and nothing downstream
+      // reads stored literal order).
       if (counts_->get(ordinal(rec.id)) > 0) {
-        const std::span<Lit> derived = chain_.lits_mutable();
-        std::sort(derived.begin(), derived.end());
-        store_.put(rec.id, derived);
+        store_.put(rec.id, chain_.lits());
       }
     }
   }
@@ -236,7 +246,13 @@ class BreadthFirstChecker {
   /// until the next fetch.
   ClauseView fetch_clause(ClauseId id) {
     if (id < num_original()) {
-      scratch_ = canonicalize(formula_->clause(id));
+      // Canonicalize in place: the scratch buffer's capacity is reused
+      // across the millions of original-clause fetches of a long trace.
+      const ClauseView raw = formula_->clause(id);
+      scratch_.assign(raw.begin(), raw.end());
+      std::sort(scratch_.begin(), scratch_.end());
+      scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                     scratch_.end());
       if (is_tautology(scratch_)) {
         throw CheckFailure(
             "original clause " + std::to_string(id) +
@@ -267,6 +283,8 @@ class BreadthFirstChecker {
   std::uint64_t num_learned_slots_ = 0;
   ClauseStore store_;
   SortedClause scratch_;
+  std::vector<std::uint64_t> ord_scratch_;        ///< per-chain ordinals
+  std::vector<std::uint64_t> exhausted_scratch_;  ///< zeroed this chain
   ChainResolver chain_;
   util::MemTracker mem_;
   CheckStats stats_;

@@ -54,14 +54,9 @@ void DerivationIndex::add(ClauseId id, std::span<const ClauseId> sources) {
   ++num_records_;
 }
 
-std::span<const std::uint32_t> DerivationIndex::sources_of(
-    ClauseId id) const {
-  if (!contains(id)) {
-    throw CheckFailure("clause " + std::to_string(id) +
-                       " is referenced but never derived in the trace");
-  }
-  const Entry& e = entries_[id - num_original_];
-  return {pool_.data() + e.begin, e.len};
+void DerivationIndex::throw_never_derived(ClauseId id) {
+  throw CheckFailure("clause " + std::to_string(id) +
+                     " is referenced but never derived in the trace");
 }
 
 std::optional<ClauseId> load_full_trace(trace::TraceReader& reader,
@@ -196,6 +191,7 @@ void check_antecedent(ClauseView clause, Var var, const Level0Table& table,
 SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
                                  const Level0Table& table, CheckStats& stats) {
   ChainResolver chain;
+  chain.reserve_vars(table.num_vars());
   {
     const ClauseView final_clause = fetch(final_id);
     for (const Lit lit : final_clause) {

@@ -132,6 +132,13 @@ class ClauseStore {
     refs_[id] = util::ClauseArena::kNullRef;
   }
 
+  /// Hints the cache to load `id`'s clause block; a no-op when `id` is not
+  /// stored (replay prefetches a couple of derivations ahead, where a
+  /// source may still be under construction).
+  void prefetch(ClauseId id) const {
+    if (contains(id)) arena_->prefetch(refs_[id]);
+  }
+
   [[nodiscard]] util::ClauseArena& arena() { return *arena_; }
   [[nodiscard]] const util::ClauseArena& arena() const { return *arena_; }
 
@@ -183,7 +190,13 @@ class DerivationIndex {
 
   /// Source list of `id` (32-bit IDs; they widen losslessly to ClauseId).
   /// Throws CheckFailure ("referenced but never derived") when absent.
-  [[nodiscard]] std::span<const std::uint32_t> sources_of(ClauseId id) const;
+  /// Inline: the replay loop calls this once per derivation (plan, fold,
+  /// prefetch), so the lookup must reduce to two loads and a compare.
+  [[nodiscard]] std::span<const std::uint32_t> sources_of(ClauseId id) const {
+    if (!contains(id)) throw_never_derived(id);
+    const Entry& e = entries_[id - num_original_];
+    return {pool_.data() + e.begin, e.len};
+  }
 
   /// Highest derived ID seen (0 when empty — check num_records() first).
   [[nodiscard]] ClauseId max_id() const { return max_id_; }
@@ -194,6 +207,8 @@ class DerivationIndex {
     std::uint32_t begin = 0;  ///< offset into pool_
     std::uint32_t len = 0;    ///< 0 = not derived (real records have >= 2)
   };
+
+  [[noreturn]] static void throw_never_derived(ClauseId id);
 
   ClauseId num_original_;
   std::vector<std::uint32_t> pool_;
@@ -245,6 +260,8 @@ class Level0Table {
   /// Chronological rank of the assignment (0 = first on the trail).
   [[nodiscard]] std::uint32_t order(Var v) const { return entries_[v].order; }
   [[nodiscard]] std::size_t size() const { return count_; }
+  /// The variable universe the table was sized for.
+  [[nodiscard]] Var num_vars() const { return static_cast<Var>(entries_.size()); }
 
   /// Assumption bookkeeping.
   [[nodiscard]] bool has_assumptions() const { return num_assumed_ > 0; }

@@ -30,19 +30,40 @@ class DepthFirstChecker {
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
+      chain_.reserve_vars(reader_->num_vars());
       {
         obs::Span span("index");
         store_.reserve(std::max<ClauseId>(num_original(),
                                           derivations_.num_records() != 0
                                               ? derivations_.max_id() + 1
                                               : 0));
+        if (options.streaming_replay) {
+          planned_.assign(store_.id_limit(), 0);
+          plan_.reserve(derivations_.num_records());
+          plan_cone(*final_id_);
+        }
       }
-      const ClauseFetcher fetch = [this](ClauseId id) { return build(id); };
+      {
+        // Linear sweep over the planned cone: clauses are built in
+        // first-use order, so arena writes stream and the sources of the
+        // next derivations are prefetched while the current one folds.
+        obs::Span replay_span("replay");
+        execute_plan();
+      }
+      const ClauseFetcher fetch =
+          options.streaming_replay
+              ? ClauseFetcher([this](ClauseId id) { return fetch_streamed(id); })
+              : ClauseFetcher([this](ClauseId id) { return build(id); });
       SortedClause remaining;
       {
-        obs::Span replay_span("replay");
+        // With streaming_replay the trail-antecedent cones outside the
+        // final-conflict cone are planned and streamed here, on first
+        // fetch — the same schedule-then-sweep discipline as the replay
+        // span, building exactly the clauses the lazy walk would.
+        obs::Span final_span("final_derivation");
         remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
       }
+      planned_ = {};  // plan bookkeeping is dead weight past this point
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
         result.failed_assumption_clause = std::move(remaining);
@@ -124,13 +145,110 @@ class DepthFirstChecker {
     return store_.view(id);
   }
 
+  /// Plans the exact traversal build(root) would perform — same explicit
+  /// stack, same skip rules, with a planned bitmap standing in for the
+  /// (still empty) store — and records it as a flat build schedule.
+  /// Structural errors (unknown sources) surface here with the same
+  /// diagnostics the lazy walk raises; content errors (tautological
+  /// originals, failed resolutions) surface when the schedule runs.
+  /// Cones planned earlier are skipped, so repeated calls (one per
+  /// trail-antecedent fetch during the final derivation) schedule each
+  /// clause exactly once across the whole run.
+  void plan_cone(ClauseId root) {
+    if (root < planned_.size() && planned_[root] != 0) return;
+    if (root < num_original()) {
+      plan_.push_back(root);
+      planned_[root] = 1;
+      return;
+    }
+    struct PlanFrame {
+      ClauseId id;
+      std::span<const std::uint32_t> sources;
+      std::size_t scan = 0;
+    };
+    std::vector<PlanFrame> stack;
+    stack.push_back({root, derivations_.sources_of(root)});
+    while (!stack.empty()) {
+      PlanFrame& f = stack.back();
+      bool descended = false;
+      while (f.scan < f.sources.size()) {
+        const ClauseId s = f.sources[f.scan];
+        if (planned_[s] != 0) {
+          ++f.scan;
+          continue;
+        }
+        if (s < num_original()) {
+          plan_.push_back(s);
+          planned_[s] = 1;
+          ++f.scan;
+          continue;
+        }
+        stack.push_back({s, derivations_.sources_of(s)});
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      plan_.push_back(f.id);
+      planned_[f.id] = 1;
+      stack.pop_back();
+    }
+  }
+
+  /// Runs the build schedule as one linear sweep. Every entry's sources
+  /// precede it in the plan (DFS postorder), so each step is a plain fold
+  /// over already-stored clauses; the next entries' first sources are
+  /// prefetched while this one resolves.
+  void execute_plan() {
+    const std::size_t n = plan_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k + 2 < n) prefetch_sources(plan_[k + 2]);
+      const ClauseId id = plan_[k];
+      if (id < num_original()) {
+        build_original(id);
+        continue;
+      }
+      fold_sources(id, derivations_.sources_of(id));
+    }
+    plan_.clear();  // consumed; later plan_cone calls start fresh
+  }
+
+  /// Streaming-mode fetcher for derive_final_clause: a planned clause is
+  /// already stored; anything else (a trail-antecedent cone disjoint from
+  /// the final-conflict cone) is planned and streamed on the spot. Builds
+  /// the same clause set, in the same order, with the same diagnostics as
+  /// the lazy build() fallback.
+  ClauseView fetch_streamed(ClauseId id) {
+    if (id < planned_.size() && planned_[id] != 0) return store_.view(id);
+    plan_cone(id);
+    execute_plan();
+    return store_.view(id);
+  }
+
+  /// Warms the cache lines of `id`'s leading source blocks ahead of its
+  /// fold. A source still being built right now is simply skipped.
+  /// (A wider window was tried and measured slower: issuing a prefetch
+  /// per source costs a ref decode each, and on the short-chain instances
+  /// the data is usually still warm from the postorder sweep.)
+  void prefetch_sources(ClauseId id) {
+    if (id < num_original()) return;
+    const std::span<const std::uint32_t> srcs = derivations_.sources_of(id);
+    store_.prefetch(srcs[0]);
+    if (srcs.size() > 1) store_.prefetch(srcs[1]);
+  }
+
   ClauseView build_original(ClauseId id) {
-    const SortedClause canon = canonicalize(formula_->clause(id));
-    if (is_tautology(canon)) {
+    // Canonicalize into a reused scratch buffer: thousands of originals
+    // would otherwise each pay a vector allocation.
+    const ClauseView raw = formula_->clause(id);
+    scratch_.assign(raw.begin(), raw.end());
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    if (is_tautology(scratch_)) {
       throw CheckFailure("original clause " + std::to_string(id) +
                          " is tautological and cannot be a resolution source");
     }
-    store_.put(id, canon);
+    store_.put(id, scratch_);
     return store_.view(id);
   }
 
@@ -151,11 +269,12 @@ class DepthFirstChecker {
                  : "more than one clashing variable"));
       }
     }
-    // Sort the resolver's buffer in place and copy straight into the
-    // arena — no per-derivation vector allocation.
-    const std::span<Lit> derived = chain_.lits_mutable();
-    std::sort(derived.begin(), derived.end());
-    store_.put(id, derived);
+    // Copy the resolver's buffer straight into the arena, unsorted:
+    // nothing downstream needs stored clauses ordered (resolution is
+    // set-based and the failed-assumption clause is sorted where it is
+    // produced), and skipping the per-derivation sort is a measurable
+    // slice of replay time.
+    store_.put(id, chain_.lits());
     ++stats_.clauses_built;
   }
 
@@ -168,6 +287,9 @@ class DepthFirstChecker {
   ChainResolver chain_;
   util::MemTracker mem_;
   CheckStats stats_;
+  std::vector<ClauseId> plan_;          ///< build schedule, first-use order
+  std::vector<std::uint8_t> planned_;   ///< per-ID scheduled bits (streaming)
+  SortedClause scratch_;                ///< build_original's canonical buffer
 };
 
 }  // namespace

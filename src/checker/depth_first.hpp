@@ -11,6 +11,16 @@ struct DepthFirstOptions {
   /// extra beyond returning the list.
   bool collect_core = true;
 
+  /// Plan the final conflict's derivation cone at index time and replay it
+  /// as a linear sweep, so clauses land in the arena in first-use order
+  /// and the replay loop streams it (with the next antecedents
+  /// prefetched) instead of re-walking an explicit DFS stack per clause.
+  /// The planned traversal is the exact on-demand traversal, so verdicts,
+  /// cores and stats are byte-identical either way; `false` keeps the
+  /// original lazy build as a regression reference (see
+  /// tests/test_layout.cpp).
+  bool streaming_replay = true;
+
   /// When non-null, clause storage borrows this arena instead of growing a
   /// private one (satproofd workers pass their per-worker arena, reset()
   /// between jobs, so chunk memory is reused across checks). Reported

@@ -39,6 +39,7 @@ class HybridChecker {
       }
       mem_.add(counts_->memory_bytes());
       mem_.add(level0_.size() * 16);
+      chain_.reserve_vars(reader_->num_vars());
       {
         obs::Span span("replay");
         replay_reachable();
@@ -251,21 +252,35 @@ class HybridChecker {
         }
       }
       ++stats_.clauses_built;
+      // One batched decrement per chain; exhausted ordinals come back in
+      // decrement order, so release order — and hence the free-list state
+      // and recycled-bytes counter — matches the per-antecedent loop.
+      ord_scratch_.clear();
       for (const ClauseId s : sources) {
-        if (s < num_original()) continue;
-        if (counts_->decrement(ordinal(s)) == 0) release(s);
+        if (s >= num_original()) ord_scratch_.push_back(ordinal(s));
+      }
+      exhausted_scratch_.clear();
+      counts_->decrement_batch(ord_scratch_, exhausted_scratch_);
+      for (const std::uint64_t ord : exhausted_scratch_) {
+        release(static_cast<ClauseId>(ord) + num_original());
       }
       if (counts_->get(ordinal(ids_[i])) > 0) {
-        const std::span<Lit> derived = chain_.lits_mutable();
-        std::sort(derived.begin(), derived.end());
-        store_.put(ids_[i], derived);
+        // Stored unsorted, like the other replay backends: resolution is
+        // set-based and nothing downstream reads stored literal order.
+        store_.put(ids_[i], chain_.lits());
       }
     }
   }
 
   ClauseView fetch_clause(ClauseId id) {
     if (id < num_original()) {
-      scratch_ = canonicalize(formula_->clause(id));
+      // Canonicalize in place so the scratch buffer's capacity is reused
+      // across original-clause fetches.
+      const ClauseView raw = formula_->clause(id);
+      scratch_.assign(raw.begin(), raw.end());
+      std::sort(scratch_.begin(), scratch_.end());
+      scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                     scratch_.end());
       if (is_tautology(scratch_)) {
         throw CheckFailure(
             "original clause " + std::to_string(id) +
@@ -302,6 +317,8 @@ class HybridChecker {
 
   ClauseStore store_;
   SortedClause scratch_;
+  std::vector<std::uint64_t> ord_scratch_;        ///< per-chain ordinals
+  std::vector<std::uint64_t> exhausted_scratch_;  ///< zeroed this chain
   ChainResolver chain_;
   util::MemTracker mem_;
   CheckStats stats_;

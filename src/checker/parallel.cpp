@@ -40,7 +40,8 @@ class ParallelChecker {
       }
       // Slot table over the dense ID space [0, max derived ID]. C++20
       // value-initializes the atomics to nullptr. Each slot holds the
-      // arena block pointer of the published clause (header + literals).
+      // tagged arena block pointer of the published clause (low bit set
+      // for headerless binary-tier blocks; see ClauseArena::view_of).
       {
         obs::Span span("index");
         slots_ = std::vector<std::atomic<const Lit*>>(
@@ -219,6 +220,7 @@ class ParallelChecker {
   /// throw — failures are recorded in the chunk for the post-barrier merge.
   void run_chunk(Chunk& chunk) {
     ChainResolver chain;
+    chain.reserve_vars(reader_->num_vars());
     for (const ClauseId id : chunk.ids) {
       try {
         if (id < num_original()) {
@@ -241,7 +243,7 @@ class ParallelChecker {
     }
     ++chunk.originals_built;
     const util::ClauseArena::Ref ref = chunk.shard->put(canon);
-    slots_[id].store(chunk.shard->block(ref), std::memory_order_release);
+    slots_[id].store(chunk.shard->tagged_block(ref), std::memory_order_release);
   }
 
   void build_derived(ClauseId id, Chunk& chunk, ChainResolver& chain) {
@@ -260,11 +262,12 @@ class ParallelChecker {
                  : "more than one clashing variable"));
       }
     }
-    const std::span<Lit> derived = chain.lits_mutable();
-    std::sort(derived.begin(), derived.end());
+    // Publish the resolver's buffer unsorted (same as the depth-first
+    // checker): the fold order is a function of the trace alone, so the
+    // stored bytes stay deterministic across job counts.
     ++chunk.derived_built;
-    const util::ClauseArena::Ref ref = chunk.shard->put(derived);
-    slots_[id].store(chunk.shard->block(ref), std::memory_order_release);
+    const util::ClauseArena::Ref ref = chunk.shard->put(chain.lits());
+    slots_[id].store(chunk.shard->tagged_block(ref), std::memory_order_release);
   }
 
   /// A source clause during wavefront replay. Always published: the

@@ -84,75 +84,9 @@ ResolveResult resolve(const SortedClause& a, const SortedClause& b,
   return res;
 }
 
-void ChainResolver::grow_to(Lit lit) {
-  if (lit.code() >= stamp_.size()) {
-    stamp_.resize(lit.code() + 1, 0);
-    pos_.resize(lit.code() + 1, 0);
-  }
-}
-
-void ChainResolver::insert(Lit lit) {
-  grow_to(lit);
-  stamp_[lit.code()] = epoch_;
-  pos_[lit.code()] = static_cast<std::uint32_t>(lits_.size());
-  lits_.push_back(lit);
-}
-
-void ChainResolver::erase(Lit lit) {
-  const std::uint32_t i = pos_[lit.code()];
-  const Lit last = lits_.back();
-  lits_[i] = last;
-  pos_[last.code()] = i;
-  lits_.pop_back();
-  stamp_[lit.code()] = 0;
-}
-
-void ChainResolver::start(std::span<const Lit> first) {
-  ++epoch_;
-  lits_.clear();
-  for (const Lit lit : first) insert(lit);
-}
-
-ResolveResult ChainResolver::step(std::span<const Lit> next) {
-  ResolveResult res;
-  // Pass 1: find the clashing variable(s).
-  Var pivot = kInvalidVar;
-  for (const Lit lit : next) {
-    if (present(~lit)) {
-      if (pivot != kInvalidVar && pivot != lit.var()) {
-        res.status = ResolveStatus::MultiClash;
-        return res;
-      }
-      pivot = lit.var();
-    }
-  }
-  if (pivot == kInvalidVar) {
-    res.status = ResolveStatus::NoClash;
-    return res;
-  }
-  // `next` must contain the pivot in exactly one phase (see resolve()).
-  int pivot_count = 0;
-  for (const Lit lit : next) pivot_count += lit.var() == pivot ? 1 : 0;
-  if (pivot_count != 1 ||
-      (present(Lit::pos(pivot)) && present(Lit::neg(pivot)))) {
-    res.status = ResolveStatus::MultiClash;
-    return res;
-  }
-  // Pass 2: merge, dropping both phases of the pivot.
-  erase(present(Lit::pos(pivot)) ? Lit::pos(pivot) : Lit::neg(pivot));
-  for (const Lit lit : next) {
-    if (lit.var() == pivot) continue;
-    if (!present(lit)) insert(lit);
-  }
-  res.status = ResolveStatus::Ok;
-  res.pivot = pivot;
-  return res;
-}
-
-std::vector<Lit> ChainResolver::take() {
-  // Invalidate the stamps so a future start() sees an empty set.
-  ++epoch_;
-  return std::move(lits_);
-}
+// ChainResolver's methods are defined inline in resolution.hpp: the replay
+// hot loop makes one step() call per trace resolution, and keeping the
+// kernel visible to its callers removes the per-call overhead that rivals
+// the per-literal work on short-chain traces.
 
 }  // namespace satproof::checker

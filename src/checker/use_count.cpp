@@ -20,6 +20,19 @@ std::uint32_t InMemoryUseCounts::decrement(std::uint64_t index) {
   return --c;
 }
 
+void InMemoryUseCounts::decrement_batch(std::span<const std::uint64_t> indices,
+                                        std::vector<std::uint64_t>& exhausted) {
+  // One tight loop over the flat counter array: no per-antecedent virtual
+  // dispatch, no repeated bounds machinery beyond .at()'s check.
+  for (const std::uint64_t index : indices) {
+    std::uint32_t& c = counts_.at(index);
+    if (c == 0) {
+      throw std::logic_error("UseCountStore: decrement below zero");
+    }
+    if (--c == 0) exhausted.push_back(index);
+  }
+}
+
 std::uint32_t InMemoryUseCounts::get(std::uint64_t index) {
   return counts_.at(index);
 }

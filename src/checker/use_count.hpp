@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/cnf/types.hpp"
@@ -41,6 +42,19 @@ class UseCountStore {
   /// The counter must be positive.
   virtual std::uint32_t decrement(std::uint64_t index) = 0;
 
+  /// Removes one use from each counter in `indices` (in order, so repeated
+  /// indices decrement repeatedly), appending every index whose counter
+  /// reached zero to `exhausted` in that same order. One virtual call per
+  /// chain instead of one per antecedent; implementations additionally
+  /// batch their own bookkeeping (e.g. a single page-residency check per
+  /// run of nearby indices).
+  virtual void decrement_batch(std::span<const std::uint64_t> indices,
+                               std::vector<std::uint64_t>& exhausted) {
+    for (const std::uint64_t index : indices) {
+      if (decrement(index) == 0) exhausted.push_back(index);
+    }
+  }
+
   /// Current value of counter `index`.
   [[nodiscard]] virtual std::uint32_t get(std::uint64_t index) = 0;
 
@@ -54,6 +68,8 @@ class InMemoryUseCounts final : public UseCountStore {
   void resize(std::uint64_t n) override;
   void increment(std::uint64_t index) override;
   std::uint32_t decrement(std::uint64_t index) override;
+  void decrement_batch(std::span<const std::uint64_t> indices,
+                       std::vector<std::uint64_t>& exhausted) override;
   [[nodiscard]] std::uint32_t get(std::uint64_t index) override;
   [[nodiscard]] std::size_t memory_bytes() const override;
 

@@ -74,22 +74,6 @@ std::optional<std::uint64_t> read_varint(std::istream& is) {
   }
 }
 
-std::uint64_t decode_varint(const std::uint8_t*& p, const std::uint8_t* end) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    if (p == end) throw_truncated();
-    const std::uint8_t byte = *p++;
-    if ((byte & 0x80) == 0) {
-      check_terminal(byte, shift);
-      return value | static_cast<std::uint64_t>(byte) << shift;
-    }
-    if (shift == 63) throw_overlong();
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    shift += 7;
-  }
-}
-
 std::uint64_t decode_varint(const std::vector<std::uint8_t>& data,
                             std::size_t& pos) {
   const std::uint8_t* p = data.data() + pos;

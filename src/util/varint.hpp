@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,43 @@ std::optional<std::uint64_t> read_varint(std::istream& is);
 /// no stream state, just pointer bumps. Throws std::runtime_error on
 /// truncation (`p` hits `end` mid-value), over-long (> 10 bytes),
 /// overflowing or non-canonical encodings.
-std::uint64_t decode_varint(const std::uint8_t*& p, const std::uint8_t* end);
+///
+/// Defined inline: the trace reader decodes millions of varints per check
+/// (every clause ID, source delta and literal goes through here, and the
+/// breadth-first checker reads the file three times), so the call must
+/// vanish into the parse loop. Most trace fields are source deltas and
+/// counts below 128, hence the dedicated one-byte early exit — a single
+/// byte without the continuation bit is always canonical.
+inline std::uint64_t decode_varint(const std::uint8_t*& p,
+                                   const std::uint8_t* end) {
+  if (p != end && *p < 0x80) return *p++;
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) {
+      throw std::runtime_error("varint: truncated encoding at end of stream");
+    }
+    const std::uint8_t byte = *p++;
+    if ((byte & 0x80) == 0) {
+      // Terminal byte: at shift 63 only bit 0 may be set (anything else
+      // overflows uint64), and past the first byte a zero terminator means
+      // the previous continuation bit was redundant padding — the same
+      // value has a shorter encoding, so reject it as non-canonical.
+      if (shift == 63 && (byte >> 1) != 0) {
+        throw std::runtime_error("varint: value exceeds 64 bits");
+      }
+      if (shift > 0 && byte == 0) {
+        throw std::runtime_error("varint: over-long encoding");
+      }
+      return value | static_cast<std::uint64_t>(byte) << shift;
+    }
+    if (shift == 63) {  // continuation past the 10th byte
+      throw std::runtime_error("varint: over-long encoding");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    shift += 7;
+  }
+}
 
 /// Decodes one varint from `data` starting at `pos`, advancing `pos`.
 /// Same strictness as the pointer form.

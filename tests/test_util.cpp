@@ -416,14 +416,23 @@ TEST(ClauseArena, OversizedClauseGetsDedicatedChunk) {
 
 TEST(ClauseArena, BlockPointersStableAcrossGrowth) {
   ClauseArena arena;
+  // One clause per tier: {1, -2} lands in a headerless binary-tier block,
+  // the 3-lit clause in a headered chunk. tagged_block() is the
+  // tier-agnostic pointer form (what the parallel checker publishes).
   const ClauseArena::Ref r = arena.put(lits({1, -2}));
-  const Lit* block = arena.block(r);
+  const ClauseArena::Ref r3 = arena.put(lits({6, -7, 8}));
+  const Lit* bin_block = arena.tagged_block(r);
+  const Lit* long_block = arena.tagged_block(r3);
   // Force many chunk allocations.
   for (int i = 0; i < 100000; ++i) arena.put(lits({3, -4, 5}));
-  EXPECT_EQ(arena.block(r), block);
-  const auto v = ClauseArena::view_of(block);
+  EXPECT_EQ(arena.tagged_block(r), bin_block);
+  EXPECT_EQ(arena.tagged_block(r3), long_block);
+  const auto v = ClauseArena::view_of(bin_block);
   ASSERT_EQ(v.size(), 2u);
   EXPECT_EQ(v[1], Lit::from_dimacs(-2));
+  const auto v3 = ClauseArena::view_of(long_block);
+  ASSERT_EQ(v3.size(), 3u);
+  EXPECT_EQ(v3[2], Lit::from_dimacs(8));
 }
 
 TEST(ByteSource, MemorySourceServesWholeRange) {

@@ -8,6 +8,7 @@ by more than the threshold.
   bench_compare.py --bench table2   BENCH_checkers.json fresh_table2.json
   bench_compare.py --bench parallel BENCH_checkers.json fresh_parallel.json
   bench_compare.py --bench service  BENCH_service.json  fresh_service.json
+  bench_compare.py --bench micro    BENCH_checkers.json fresh_micro.json
 
 More than one current file may be given; each metric takes its best
 (minimum) value across them. CI runs every quick bench three times and
@@ -17,12 +18,19 @@ scheduler noise alone approaches the threshold.
 Baseline layout (committed):
   BENCH_checkers.json  "quick" block      -> table2_checkers --quick totals
                        "parallel_quick"   -> parallel_speedup --quick doc
+                       "micro_quick"      -> micro_resolver --quick doc
   BENCH_service.json   "quick" block      -> service_throughput --quick doc
 
 Current layout (fresh run):
   table2_checkers --quick --json FILE     (totals under "arena")
   parallel_speedup --quick --json FILE    (totals at top level)
   service_throughput --quick --json FILE  (runs at top level)
+  micro_resolver --quick --json FILE      (totals at top level)
+
+Scaling-curve metrics (the service worker_sweep) are only comparable when
+the baseline was recorded on a machine with the same hardware thread
+count; when the counts differ those metrics are skipped with a warning
+instead of gating a scaling curve against, say, a flat 1-core recording.
 
 Refreshing baselines (run on the reference machine, release-ndebug build):
   see docs/OBSERVABILITY.md, "Refreshing the benchmark baselines".
@@ -33,11 +41,21 @@ Exit codes: 0 = within threshold, 1 = regression, 2 = nothing comparable
 
 import argparse
 import json
+import os
 import sys
 
 # Metrics with a baseline below this are scheduler noise at --quick scale;
 # they are reported but never gate.
 DEFAULT_MIN_SECONDS = 0.0005
+
+# One-shot warnings (extract() runs once per current file).
+_warned = set()
+
+
+def warn_once(msg):
+    if msg not in _warned:
+        _warned.add(msg)
+        print(msg, file=sys.stderr)
 
 
 def load(path):
@@ -76,15 +94,54 @@ def extract(bench, baseline_doc, current_doc):
         base = baseline_doc.get("quick") or baseline_doc
         cur = current_doc
 
+        # The worker_sweep is a scaling curve: jobs/s at 1/2/4/hw workers.
+        # Its shape depends on the machine's core count, so comparing a
+        # fresh sweep against a baseline recorded with a different
+        # hardware_threads gates real scaling against (say) a flat 1-core
+        # curve. Skip the curve — the client-sweep throughput metrics
+        # still gate.
+        base_threads = base.get("hardware_threads")
+        cur_threads = cur.get("hardware_threads") or os.cpu_count()
+        sweep_comparable = (
+            base_threads is None
+            or cur_threads is None
+            or base_threads == cur_threads
+        )
+        if not sweep_comparable:
+            warn_once(
+                "bench_compare: WARNING: baseline worker_sweep was recorded "
+                "with hardware_threads=%s but this machine has %s; skipping "
+                "seconds[workers=N] scaling metrics (refresh the baseline on "
+                "matching hardware to re-enable them)"
+                % (base_threads, cur_threads)
+            )
+
         def per_run(doc):
             out = {}
             for run in doc.get("runs", []):
                 out["seconds[clients=%d]" % run["clients"]] = run["seconds"]
-            for run in doc.get("worker_sweep", []):
-                out["seconds[workers=%d]" % run["workers"]] = run["seconds"]
+            if sweep_comparable:
+                for run in doc.get("worker_sweep", []):
+                    out["seconds[workers=%d]" % run["workers"]] = run["seconds"]
             return out
 
         return per_run(base), per_run(cur), base.get("suite"), cur.get("suite")
+    if bench == "micro":
+        base = baseline_doc.get("micro_quick") or baseline_doc.get("micro") or {}
+        cur = current_doc
+
+        def micro_totals(doc):
+            totals = doc.get("totals", {})
+            return {
+                k: v for k, v in totals.items() if k.endswith("_seconds")
+            }
+
+        return (
+            micro_totals(base),
+            micro_totals(cur),
+            base.get("suite"),
+            cur.get("suite"),
+        )
     raise ValueError("unknown bench %r" % bench)
 
 
@@ -99,7 +156,7 @@ def main():
     ap.add_argument(
         "--bench",
         required=True,
-        choices=("table2", "parallel", "service"),
+        choices=("table2", "parallel", "service", "micro"),
         help="which bench pair is being compared",
     )
     ap.add_argument(

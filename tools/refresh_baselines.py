@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Regenerates the committed benchmark baselines.
 
-Runs table2_checkers, parallel_speedup and service_throughput from a
-Release build (standard + quick scales), merges their JSON documents and
-rewrites BENCH_checkers.json / BENCH_service.json in the layout
-tools/bench_compare.py consumes. The previous standard-suite checker
-numbers are preserved as the embedded "baseline" block so the committed
-file still records the last before/after comparison.
+Runs table2_checkers, parallel_speedup, micro_resolver and
+service_throughput from a Release build (standard + quick scales), merges
+their JSON documents and rewrites BENCH_checkers.json /
+BENCH_service.json in the layout tools/bench_compare.py consumes. The
+previous standard-suite checker numbers are preserved as the embedded
+"baseline" block so the committed file still records the last
+before/after comparison, and both files carry a "provenance" block
+(hardware threads, CPU model, compiler) identifying the machine the
+numbers came from.
 
   cmake -B build-rel -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-rel -j --target table2_checkers parallel_speedup service_throughput
+  cmake --build build-rel -j --target table2_checkers parallel_speedup micro_resolver service_throughput
   python3 tools/refresh_baselines.py --build build-rel
 
 Run on a quiet machine; commit the two BENCH files afterwards.
@@ -18,9 +21,58 @@ Run on a quiet machine; commit the two BENCH files afterwards.
 import argparse
 import json
 import os
+import platform
+import re
 import subprocess
 import sys
 import tempfile
+
+
+def cpu_model():
+    """Best-effort CPU model string (Linux /proc/cpuinfo, else platform)."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def compiler_version(build_dir):
+    """First line of `$CXX --version` for the compiler CMake recorded."""
+    cxx = None
+    try:
+        with open(os.path.join(build_dir, "CMakeCache.txt")) as f:
+            for line in f:
+                m = re.match(r"CMAKE_CXX_COMPILER:\w+=(.+)", line.strip())
+                if m:
+                    cxx = m.group(1)
+                    break
+    except OSError:
+        pass
+    if not cxx:
+        return "unknown"
+    try:
+        out = subprocess.run(
+            [cxx, "--version"], capture_output=True, text=True, check=True
+        ).stdout
+        return out.splitlines()[0].strip() if out else cxx
+    except (OSError, subprocess.CalledProcessError):
+        return os.path.basename(cxx)
+
+
+def provenance(build_dir):
+    """Machine/toolchain fingerprint recorded in both BENCH files, so a
+    reviewer can tell whether a committed baseline is comparable to the
+    machine at hand (bench_compare skips scaling curves on a thread-count
+    mismatch)."""
+    return {
+        "hardware_threads": os.cpu_count(),
+        "cpu_model": cpu_model(),
+        "compiler": compiler_version(build_dir),
+    }
 
 
 def run_bench(binary, *args):
@@ -92,17 +144,23 @@ def main():
     t2_std = run_bench(os.path.join(bench_dir, "table2_checkers"))
     t2_quick = run_bench_best(os.path.join(bench_dir, "table2_checkers"), "--quick")
     par_quick = run_bench_best(os.path.join(bench_dir, "parallel_speedup"), "--quick")
+    micro_std = run_bench(os.path.join(bench_dir, "micro_resolver"))
+    micro_quick = run_bench_best(os.path.join(bench_dir, "micro_resolver"), "--quick")
     svc_std = run_bench(os.path.join(bench_dir, "service_throughput"))
     svc_quick = run_bench_best(os.path.join(bench_dir, "service_throughput"), "--quick")
 
+    prov = provenance(args.build)
     checkers = {
         "bench": "table2_checkers",
+        "provenance": prov,
         "arena": t2_std["arena"],
         "baseline": prev_arena or None,
         "tracing_overhead": t2_std.get("tracing_overhead"),
         "quick": t2_quick["arena"],
         "tracing_overhead_quick": t2_quick.get("tracing_overhead"),
         "parallel_quick": par_quick,
+        "micro": micro_std,
+        "micro_quick": micro_quick,
     }
     if prev_arena:
         checkers["comparison"] = comparison(
@@ -111,6 +169,7 @@ def main():
 
     service = {
         "bench": "service_throughput",
+        "provenance": prov,
         "standard": svc_std,
         "quick": svc_quick,
     }
