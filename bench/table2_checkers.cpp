@@ -21,7 +21,10 @@
 //   --quick      run the Small suite (CI smoke; seconds in total)
 //   --json FILE  write the measurements as JSON; also measures the cost of
 //                span tracing (an extra DF sweep with a live TraceSession)
-//                and records it as the "tracing_overhead" block
+//                and records it as the "tracing_overhead" block, plus the
+//                cost of LRAT certificate emission (an extra DF sweep with
+//                a live LratEmitter streaming text LRAT to a temp file)
+//                recorded as the "lrat_overhead" block
 //   --baseline FILE
 //                embed a previous --json run as the "baseline" block and
 //                emit a baseline-vs-current comparison (DF speedup, peak
@@ -40,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cert/lrat_emitter.hpp"
 #include "src/checker/breadth_first.hpp"
 #include "src/checker/depth_first.hpp"
 #include "src/checker/hybrid.hpp"
@@ -155,6 +159,13 @@ int main(int argc, char** argv) {
   // table numbers are the tracing-disabled configuration.
   const bool measure_overhead = !json_path.empty() && !trace_session;
   double traced_df_secs = 0.0;
+  // LRAT-emission probe (same conditions): re-time the DF sweep with a
+  // live certificate emitter streaming text LRAT to disk, so
+  // BENCH_checkers.json documents what `export-lrat` costs over a plain
+  // check. The main table numbers stay the emission-off configuration —
+  // the null-observer default the <5%-overhead claim is gated on.
+  double lrat_df_secs = 0.0;
+  std::uintmax_t lrat_bytes_total = 0;
 
   std::vector<InstanceNumbers> rows;
   for (const auto& inst : encode::unsat_suite(scale)) {
@@ -193,14 +204,30 @@ int main(int argc, char** argv) {
                                 return checker::check_hybrid(inst.formula, r);
                               });
     if (measure_overhead) {
-      obs::TraceSession probe;
-      const BackendNumbers traced =
-          time_backend(path, "depth-first (traced)", inst.name,
-                       [&](trace::TraceReader& r) {
-                         return checker::check_depth_first(inst.formula, r);
-                       });
-      obs::flush_this_thread();
-      traced_df_secs += traced.seconds;
+      {
+        obs::TraceSession probe;
+        const BackendNumbers traced =
+            time_backend(path, "depth-first (traced)", inst.name,
+                         [&](trace::TraceReader& r) {
+                           return checker::check_depth_first(inst.formula, r);
+                         });
+        obs::flush_this_thread();
+        traced_df_secs += traced.seconds;
+      }
+      util::TempFile lrat_file("table2-lrat");
+      const BackendNumbers emitting = time_backend(
+          path, "depth-first (lrat)", inst.name,
+          [&](trace::TraceReader& r) {
+            std::ofstream sink(lrat_file.path(),
+                               std::ios::out | std::ios::trunc);
+            cert::TextLratWriter writer(sink);
+            cert::LratEmitter emitter(writer, inst.formula.num_clauses());
+            checker::DepthFirstOptions opts;
+            opts.observer = &emitter;
+            return checker::check_depth_first(inst.formula, r, opts);
+          });
+      lrat_df_secs += emitting.seconds;
+      lrat_bytes_total += std::filesystem::file_size(lrat_file.path());
     }
 
     const auto& df = row.df.result;
@@ -288,6 +315,11 @@ int main(int argc, char** argv) {
        << ", \"traced_overhead_pct\": "
        << (df_secs > 0 ? (traced_df_secs - df_secs) / df_secs * 100.0 : 0.0)
        << "}";
+    js << ",\n  \"lrat_overhead\": {\"df_seconds_off\": " << df_secs
+       << ", \"df_seconds_emitting\": " << lrat_df_secs
+       << ", \"emitting_overhead_pct\": "
+       << (df_secs > 0 ? (lrat_df_secs - df_secs) / df_secs * 100.0 : 0.0)
+       << ", \"certificate_bytes\": " << lrat_bytes_total << "}";
   }
 
   if (!baseline_path.empty()) {

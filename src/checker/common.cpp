@@ -189,7 +189,9 @@ void check_antecedent(ClauseView clause, Var var, const Level0Table& table,
 }
 
 SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
-                                 const Level0Table& table, CheckStats& stats) {
+                                 const Level0Table& table, CheckStats& stats,
+                                 std::vector<ClauseId>* used_antecedents) {
+  if (used_antecedents != nullptr) used_antecedents->clear();
   ChainResolver chain;
   chain.reserve_vars(table.num_vars());
   {
@@ -244,6 +246,7 @@ SortedClause derive_final_clause(ClauseId final_id, const ClauseFetcher& fetch,
     check_antecedent(ante, v, table, "antecedent clause " +
                                          std::to_string(ante_id) + " of x" +
                                          std::to_string(v));
+    if (used_antecedents != nullptr) used_antecedents->push_back(ante_id);
     const ResolveResult r = chain.step(ante);
     ++stats.resolutions;
     if (r.status != ResolveStatus::Ok) {

@@ -304,6 +304,41 @@ void check_antecedent(ClauseView clause, Var var, const Level0Table& table,
 /// the next fetch.
 using ClauseFetcher = std::function<ClauseView(ClauseId)>;
 
+/// Observer of replay-order derivation events, the hook the certificate
+/// emitter (src/cert) attaches to. Declared here so the checkers need no
+/// dependency on the cert subsystem: backends that support emission hold a
+/// nullable pointer (null = no observer, the default) and call out only on
+/// the slow side of each derivation — after a whole chain has been folded —
+/// so the resolution hot loop is untouched.
+///
+/// Contract the checkers guarantee to observers:
+///  - on_derived() fires once per clause actually built, in replay order;
+///    every source of a derivation has been announced (as an original ID or
+///    an earlier on_derived) before the derivation that consumes it.
+///  - on_released() fires when a derived clause provably has no remaining
+///    uses (hybrid use-count exhaustion); it never precedes a later fetch.
+///  - on_final() fires once, after the empty-clause (or assumption-clause)
+///    derivation succeeds, with the antecedents in the order they were
+///    resolved against the final conflicting clause.
+class CertObserver {
+ public:
+  virtual ~CertObserver() = default;
+
+  /// Derived clause `id` was built by left-folding resolution over
+  /// `sources` (in trace order); `lits` is the resulting clause,
+  /// duplicate-free, in ChainResolver order.
+  virtual void on_derived(ClauseId id, std::span<const Lit> lits,
+                          std::span<const std::uint32_t> sources) = 0;
+
+  /// Derived clause `id` has no remaining uses in the replay.
+  virtual void on_released(ClauseId id) = 0;
+
+  /// The final empty-clause derivation succeeded: the final conflicting
+  /// clause `final_id` was resolved against `antecedents` in order.
+  virtual void on_final(ClauseId final_id,
+                        std::span<const ClauseId> antecedents) = 0;
+};
+
 /// Derives the trace's final clause, exactly as in the proof of
 /// Proposition 3: starting from the final conflicting clause, repeatedly
 /// resolve on the *most recently assigned* remaining implied variable
@@ -315,11 +350,12 @@ using ClauseFetcher = std::function<ClauseView(ClauseId)>;
 /// every final-clause literal must be false and implied). With assumptions
 /// the remaining literals are returned for validation against the assumed
 /// set (validate_assumption_clause). Throws CheckFailure on any invalid
-/// step; increments `stats.resolutions`.
-[[nodiscard]] SortedClause derive_final_clause(ClauseId final_id,
-                                               const ClauseFetcher& fetch,
-                                               const Level0Table& table,
-                                               CheckStats& stats);
+/// step; increments `stats.resolutions`. When `used_antecedents` is
+/// non-null it receives the antecedent IDs in resolution order (the hint
+/// material for CertObserver::on_final).
+[[nodiscard]] SortedClause derive_final_clause(
+    ClauseId final_id, const ClauseFetcher& fetch, const Level0Table& table,
+    CheckStats& stats, std::vector<ClauseId>* used_antecedents = nullptr);
 
 /// Validates the outcome of derive_final_clause: empty is always fine
 /// (unconditional unsatisfiability); otherwise every literal must be the

@@ -30,6 +30,7 @@ class DepthFirstChecker {
             "trace has no final conflicting clause; it does not claim "
             "unsatisfiability");
       }
+      observer_ = options.observer;
       chain_.reserve_vars(reader_->num_vars());
       {
         obs::Span span("index");
@@ -61,7 +62,13 @@ class DepthFirstChecker {
         // fetch — the same schedule-then-sweep discipline as the replay
         // span, building exactly the clauses the lazy walk would.
         obs::Span final_span("final_derivation");
-        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+        std::vector<ClauseId> final_antecedents;
+        remaining = derive_final_clause(
+            *final_id_, fetch, level0_, stats_,
+            observer_ != nullptr ? &final_antecedents : nullptr);
+        if (observer_ != nullptr && remaining.empty()) {
+          observer_->on_final(*final_id_, final_antecedents);
+        }
       }
       planned_ = {};  // plan bookkeeping is dead weight past this point
       if (!remaining.empty()) {
@@ -276,6 +283,7 @@ class DepthFirstChecker {
     // slice of replay time.
     store_.put(id, chain_.lits());
     ++stats_.clauses_built;
+    if (observer_ != nullptr) observer_->on_derived(id, chain_.lits(), sources);
   }
 
   const Formula* formula_;
@@ -285,6 +293,7 @@ class DepthFirstChecker {
   DerivationIndex derivations_;
   ClauseStore store_;
   ChainResolver chain_;
+  CertObserver* observer_ = nullptr;
   util::MemTracker mem_;
   CheckStats stats_;
   std::vector<ClauseId> plan_;          ///< build schedule, first-use order

@@ -26,6 +26,12 @@ struct DepthFirstOptions {
   /// between jobs, so chunk memory is reused across checks). Reported
   /// arena statistics are identical either way.
   util::ClauseArena* recycle_arena = nullptr;
+
+  /// When non-null, receives replay-order derivation events (the LRAT
+  /// certificate emitter hooks in here). Null — the default — keeps the
+  /// replay loop free of observer branches beyond one predictable test per
+  /// derivation; verdicts, cores and stats are identical either way.
+  CertObserver* observer = nullptr;
 };
 
 /// Depth-first proof checking (paper Section 3.2, Fig. 3).

@@ -18,7 +18,8 @@ class HybridChecker {
         reader_(&reader),
         level0_(reader.num_vars()),
         counts_(make_use_count_store(options.use_counts)),
-        store_(options.recycle_arena) {}
+        store_(options.recycle_arena),
+        observer_(options.observer) {}
 
   CheckResult run() {
     CheckResult result;
@@ -50,7 +51,13 @@ class HybridChecker {
       SortedClause remaining;
       {
         obs::Span span("final_derivation");
-        remaining = derive_final_clause(*final_id_, fetch, level0_, stats_);
+        std::vector<ClauseId> final_antecedents;
+        remaining = derive_final_clause(
+            *final_id_, fetch, level0_, stats_,
+            observer_ != nullptr ? &final_antecedents : nullptr);
+        if (observer_ != nullptr && remaining.empty()) {
+          observer_->on_final(*final_id_, final_antecedents);
+        }
       }
       if (!remaining.empty()) {
         validate_assumption_clause(remaining, level0_);
@@ -252,6 +259,11 @@ class HybridChecker {
         }
       }
       ++stats_.clauses_built;
+      // Announce before the decrements below so a certificate's deletion
+      // records always trail the addition that may trigger them.
+      if (observer_ != nullptr) {
+        observer_->on_derived(ids_[i], chain_.lits(), sources);
+      }
       // One batched decrement per chain; exhausted ordinals come back in
       // decrement order, so release order — and hence the free-list state
       // and recycled-bytes counter — matches the per-antecedent loop.
@@ -298,7 +310,10 @@ class HybridChecker {
   }
 
   void release(ClauseId id) {
-    if (store_.contains(id)) store_.release(id);
+    if (store_.contains(id)) {
+      store_.release(id);
+      if (observer_ != nullptr) observer_->on_released(id);
+    }
   }
 
   const Formula* formula_;
@@ -322,6 +337,7 @@ class HybridChecker {
   ChainResolver chain_;
   util::MemTracker mem_;
   CheckStats stats_;
+  CertObserver* observer_ = nullptr;
 };
 
 }  // namespace

@@ -13,6 +13,11 @@ struct HybridOptions {
   /// When non-null, clause storage borrows this arena instead of growing a
   /// private one (see DepthFirstOptions::recycle_arena).
   util::ClauseArena* recycle_arena = nullptr;
+
+  /// When non-null, receives replay-order derivation events, including
+  /// on_released() when a clause's use count exhausts (the emitter turns
+  /// those into LRAT deletion records). See DepthFirstOptions::observer.
+  CertObserver* observer = nullptr;
 };
 
 /// Hybrid proof checking — the checker the paper's conclusion asks for:

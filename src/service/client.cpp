@@ -37,12 +37,13 @@ bool Client::send_file(const std::string& path, FrameTag tag) {
 Client::SubmitReply Client::submit(const std::string& cnf_path,
                                    const std::string& trace_path,
                                    Backend backend, bool wait, unsigned jobs,
-                                   std::uint32_t timeout_ms) {
+                                   std::uint32_t timeout_ms, bool certify) {
   SubmitReply reply;
 
   SubmitHeader header;
   header.backend = static_cast<std::uint8_t>(backend);
   header.flags = wait ? kSubmitFlagWait : 0;
+  if (certify) header.flags |= kSubmitFlagCertify;
   header.timeout_ms = timeout_ms;
   header.jobs = jobs;
   // Declare the upload size up front so the server can pick a priority
@@ -120,6 +121,27 @@ Client::SubmitReply Client::submit(const std::string& cnf_path,
     return reply;
   }
   reply.have_result = true;
+
+  // An ok certify result is always followed by its RESULT_CERT frame (a
+  // certified run that could not produce a certificate is not ok).
+  if (certify && reply.status == JobStatus::kOk) {
+    if (read_frame(sock_, frame) != ReadStatus::kFrame ||
+        frame.tag != FrameTag::kResultCert) {
+      reply.error = "connection lost waiting for the certificate";
+      reply.transport_ok = false;
+      return reply;
+    }
+    std::uint64_t cert_id = 0;
+    bool binary_format = false;
+    if (!decode_result_cert(frame.payload, cert_id, binary_format,
+                            reply.certificate) ||
+        cert_id != reply.job_id) {
+      reply.error = "malformed RESULT_CERT frame";
+      reply.transport_ok = false;
+      return reply;
+    }
+    reply.have_certificate = true;
+  }
   return reply;
 }
 

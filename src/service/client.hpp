@@ -34,14 +34,22 @@ class Client {
     JobStatus status = JobStatus::kError;
     std::string verdict;
     std::string result_json;
+
+    /// Filled for certify submits whose result was ok: the text LRAT
+    /// certificate bytes from the RESULT_CERT frame.
+    bool have_certificate = false;
+    std::string certificate;
   };
 
   /// Submits one job. With `wait`, blocks until the server delivers the
-  /// result frame. Transport errors come back in the reply (never thrown).
+  /// result frame. With `certify` (requires `wait`, df/hybrid backends),
+  /// asks for an LRAT certificate and reads the RESULT_CERT frame that
+  /// follows an ok result. Transport errors come back in the reply (never
+  /// thrown).
   SubmitReply submit(const std::string& cnf_path,
                      const std::string& trace_path, Backend backend,
                      bool wait, unsigned jobs = 0,
-                     std::uint32_t timeout_ms = 0);
+                     std::uint32_t timeout_ms = 0, bool certify = false);
 
   /// Requests a metrics snapshot; empty string + `error` filled on failure.
   std::string stats_json(std::string* error = nullptr);

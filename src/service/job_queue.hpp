@@ -23,6 +23,7 @@ struct JobRequest {
   Backend backend = Backend::kDf;
   unsigned jobs = 0;             ///< parallel-backend worker count
   std::uint32_t timeout_ms = 0;  ///< wall-clock budget from enqueue; 0 = none
+  bool certify = false;  ///< emit an LRAT certificate (kSubmitFlagCertify)
   util::TempFile cnf_file;
   util::TempFile trace_file;
   std::chrono::steady_clock::time_point enqueued_at;

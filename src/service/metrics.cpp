@@ -80,6 +80,15 @@ void Metrics::on_slow_job() {
   ++slow_jobs_;
 }
 
+void Metrics::on_certified(bool ok) {
+  std::lock_guard lock(mutex_);
+  if (ok) {
+    ++certified_;
+  } else {
+    ++certify_failed_;
+  }
+}
+
 std::string Metrics::to_json(
     std::size_t queue_depth, std::size_t queue_capacity,
     std::size_t running_jobs,
@@ -102,6 +111,10 @@ std::string Metrics::to_json(
   w.value(timed_out_);
   w.key("slow");
   w.value(slow_jobs_);
+  w.key("certified");
+  w.value(certified_);
+  w.key("certify_failed");
+  w.value(certify_failed_);
   w.end_object();
 
   w.key("queue");
@@ -269,6 +282,12 @@ std::string Metrics::to_prometheus(
     prom_sample(out, "satproofd_slow_jobs_total",
                 "Jobs exceeding the --slow-job-ms threshold.", "counter",
                 static_cast<double>(slow_jobs_));
+    prom_sample(out, "satproofd_certified_total",
+                "Certificates verified by the trusted kernel post-check.",
+                "counter", static_cast<double>(certified_));
+    prom_sample(out, "satproofd_certify_failed_total",
+                "Certificates REJECTED by the trusted kernel post-check.",
+                "counter", static_cast<double>(certify_failed_));
     prom_sample(out, "satproofd_arena_peak_bytes",
                 "Largest clause-arena peak observed over completed jobs.",
                 "gauge", static_cast<double>(arena_peak_bytes_));

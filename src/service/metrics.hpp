@@ -55,6 +55,9 @@ class Metrics {
   /// Records one job whose wall time exceeded the --slow-job-ms threshold
   /// (the span-tree dump accompanies it on stderr).
   void on_slow_job();
+  /// Records one trusted-kernel certificate post-check (serve --certify):
+  /// `ok` is the kernel verdict.
+  void on_certified(bool ok);
 
   /// Structured snapshot: jobs accepted/rejected/completed/failed,
   /// per-backend latency percentiles, queue gauges, arena peak, and one
@@ -90,6 +93,8 @@ class Metrics {
   std::uint64_t failed_ = 0;
   std::uint64_t timed_out_ = 0;
   std::uint64_t slow_jobs_ = 0;
+  std::uint64_t certified_ = 0;       ///< kernel-verified certificates
+  std::uint64_t certify_failed_ = 0;  ///< kernel REJECTs (emitter bug!)
   std::size_t arena_peak_bytes_ = 0;  ///< max over all completed jobs
   std::array<BackendCounters, kNumBackends> backends_{};
 };

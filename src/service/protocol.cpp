@@ -98,6 +98,31 @@ bool decode_result(std::span<const std::uint8_t> payload, JobStatus& status,
   return true;
 }
 
+std::vector<std::uint8_t> encode_result_cert(std::uint64_t job_id,
+                                             bool binary_format,
+                                             std::string_view cert) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 1 + 4 + cert.size());
+  append_u64le(out, job_id);
+  out.push_back(binary_format ? 1 : 0);
+  append_u32le(out, static_cast<std::uint32_t>(cert.size()));
+  out.insert(out.end(), cert.begin(), cert.end());
+  return out;
+}
+
+bool decode_result_cert(std::span<const std::uint8_t> payload,
+                        std::uint64_t& job_id, bool& binary_format,
+                        std::string& cert) {
+  if (payload.size() < 8 + 1 + 4) return false;
+  job_id = read_u64le(payload.data());
+  if (payload[8] > 1) return false;
+  binary_format = payload[8] == 1;
+  const std::uint32_t clen = read_u32le(payload.data() + 9);
+  if (payload.size() != 13 + static_cast<std::size_t>(clen)) return false;
+  cert.assign(payload.begin() + 13, payload.end());
+  return true;
+}
+
 bool write_frame(util::Socket& sock, FrameTag tag,
                  std::span<const std::uint8_t> payload) {
   std::uint8_t header[kFrameHeaderBytes];

@@ -57,6 +57,11 @@ enum class FrameTag : std::uint8_t {
   kStatsJson = 0x84,  ///< UTF-8 JSON document
   kError = 0x85,      ///< u8 ErrorCode + UTF-8 message
   kStatsPromText = 0x86,  ///< UTF-8 Prometheus text exposition
+  /// u64 job id, u8 format (0 text, 1 binary), u32 cert length, cert
+  /// bytes. Sent right after kResult for jobs submitted with
+  /// kSubmitFlagCertify | kSubmitFlagWait and a successful certified
+  /// check; clients that never set the certify flag never see it.
+  kResultCert = 0x87,
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -93,6 +98,11 @@ struct SubmitHeader {
 };
 
 inline constexpr std::uint8_t kSubmitFlagWait = 0x01;
+/// Request an LRAT certificate of the replay (df/hybrid backends only;
+/// requires kSubmitFlagWait — the certificate arrives as a kResultCert
+/// frame after the kResult). Unknown to pre-certification servers' flag
+/// validation era: the bit is simply ignored by legacy peers.
+inline constexpr std::uint8_t kSubmitFlagCertify = 0x02;
 
 /// One decoded frame.
 struct Frame {
@@ -134,6 +144,15 @@ std::vector<std::uint8_t> encode_result(JobStatus status, std::uint64_t job_id,
 bool decode_result(std::span<const std::uint8_t> payload, JobStatus& status,
                    std::uint64_t& job_id, std::string& verdict,
                    std::string& json);
+
+/// kResultCert payload: u64 job id, u8 format (0 = text LRAT, 1 = binary
+/// GRIT-style), u32 certificate length, certificate bytes.
+std::vector<std::uint8_t> encode_result_cert(std::uint64_t job_id,
+                                             bool binary_format,
+                                             std::string_view cert);
+bool decode_result_cert(std::span<const std::uint8_t> payload,
+                        std::uint64_t& job_id, bool& binary_format,
+                        std::string& cert);
 
 // --- framed socket I/O --------------------------------------------------
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/cert/lrat_emitter.hpp"
 #include "src/checker/breadth_first.hpp"
 #include "src/checker/depth_first.hpp"
 #include "src/checker/drup.hpp"
@@ -60,7 +61,8 @@ std::string verdict_line(const JobOutcome& o) {
   return os.str();
 }
 
-std::string check_stats_json(const checker::CheckStats& st) {
+std::string check_stats_json(const checker::CheckStats& st,
+                             std::string_view backend) {
   util::JsonWriter w;
   w.begin_object();
   w.key("total_derivations");
@@ -79,6 +81,12 @@ std::string check_stats_json(const checker::CheckStats& st) {
   w.value(static_cast<std::uint64_t>(st.arena_recycled_bytes));
   w.key("arena_peak_bytes");
   w.value(static_cast<std::uint64_t>(st.arena_peak_bytes));
+  // Appended last so consumers keyed on the historical field prefix (the
+  // CLI tests check the leading "total_derivations") are unaffected.
+  if (!backend.empty()) {
+    w.key("backend");
+    w.value(std::string(backend));
+  }
   w.end_object();
   return w.take();
 }
@@ -159,11 +167,18 @@ void bump_global_counters(const JobOutcome& out) {
 
 JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
                      Backend backend, unsigned jobs,
-                     util::ClauseArena* recycle_arena) {
+                     util::ClauseArena* recycle_arena,
+                     const CertOptions& cert) {
   obs::Span check_span("check");
   if (recycle_arena != nullptr) recycle_arena->reset();
   JobOutcome out;
   out.backend = backend;
+  const bool certify = cert.sink != nullptr;
+  if (certify && backend != Backend::kDf && backend != Backend::kHybrid) {
+    out.error = "certificate emission requires the df or hybrid backend";
+    bump_global_counters(out);
+    return out;
+  }
   try {
     obs::Span load_span("load_formula");
     const Formula f = dimacs::parse_file(cnf_path);
@@ -192,6 +207,17 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
       reader = std::make_unique<trace::AsciiTraceReader>(ascii_in);
     }
 
+    std::unique_ptr<cert::LratWriter> writer;
+    std::unique_ptr<cert::LratEmitter> emitter;
+    if (certify) {
+      if (cert.binary) {
+        writer = std::make_unique<cert::BinaryLratWriter>(*cert.sink);
+      } else {
+        writer = std::make_unique<cert::TextLratWriter>(*cert.sink);
+      }
+      emitter = std::make_unique<cert::LratEmitter>(*writer, f.num_clauses());
+    }
+
     checker::CheckResult res;
     switch (backend) {
       case Backend::kBf: {
@@ -203,6 +229,7 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
       case Backend::kHybrid: {
         checker::HybridOptions hopts;
         hopts.recycle_arena = recycle_arena;
+        hopts.observer = emitter.get();
         res = checker::check_hybrid(f, *reader, hopts);
         break;
       }
@@ -216,6 +243,7 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
       default: {
         checker::DepthFirstOptions dopts;
         dopts.recycle_arena = recycle_arena;
+        dopts.observer = emitter.get();
         res = checker::check_depth_first(f, *reader, dopts);
         break;
       }
@@ -224,6 +252,22 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
     out.error = res.error;
     out.stats = res.stats;
     out.failed_assumption_clause = std::move(res.failed_assumption_clause);
+    if (certify && out.ok) {
+      // A certificate proves unconditional unsatisfiability; a proof that
+      // only refutes an assumption subset has no empty-clause step.
+      if (!emitter->finished()) {
+        out.ok = false;
+        out.error =
+            "trace verifies only under assumptions; LRAT certification "
+            "covers unconditional unsatisfiability";
+      } else if (!writer->ok()) {
+        out.ok = false;
+        out.error = "certificate sink write failure";
+      } else {
+        out.cert_additions = emitter->additions();
+        out.cert_deletions = emitter->deletions();
+      }
+    }
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -41,6 +42,20 @@ struct JobOutcome {
   std::uint64_t drup_clauses_checked = 0;
   std::uint64_t drup_deletions = 0;
   std::uint64_t drup_propagations = 0;
+  /// Certified runs only (run_check with a cert sink): LRAT step counts,
+  /// and — filled by the service, which certifies into a memory sink —
+  /// the certificate bytes shipped in the RESULT_CERT frame.
+  std::uint64_t cert_additions = 0;
+  std::uint64_t cert_deletions = 0;
+  std::string certificate;
+};
+
+/// Certificate emission request for run_check. A null sink (the default)
+/// disables emission entirely — the checkers run with no observer, so the
+/// replay hot loop is untouched.
+struct CertOptions {
+  std::ostream* sink = nullptr;  ///< where LRAT records stream; null = off
+  bool binary = false;           ///< binary GRIT-style variant vs text
 };
 
 /// Deterministic one-line verdict (no timing), e.g.
@@ -54,7 +69,10 @@ struct JobOutcome {
 
 /// JSON object for a replay backend's CheckStats; shared by
 /// `satproof check --stats=json` and outcome_json so the two never drift.
-[[nodiscard]] std::string check_stats_json(const checker::CheckStats& stats);
+/// A non-empty `backend` appends a final "backend" key naming the backend
+/// that actually ran — the provenance record for `--checker=auto`.
+[[nodiscard]] std::string check_stats_json(const checker::CheckStats& stats,
+                                           std::string_view backend = {});
 
 /// Checks `trace_path` against `cnf_path` with `backend`.
 ///
@@ -72,9 +90,15 @@ struct JobOutcome {
 /// repeated checks on one thread reuse already-mapped chunks (it is
 /// reset() before use; the parallel and DRUP backends manage their own
 /// storage and ignore it). Outcomes are byte-identical either way.
+/// `cert`, when its sink is non-null, streams an LRAT certificate of the
+/// replay to that sink (df and hybrid backends only — others fail the
+/// job). A certified run demands unconditional unsatisfiability: traces
+/// that verify only under assumptions, and sink write failures, turn the
+/// outcome into ok == false even though the underlying check passed.
 [[nodiscard]] JobOutcome run_check(const std::string& cnf_path,
                                    const std::string& trace_path,
                                    Backend backend, unsigned jobs = 0,
-                                   util::ClauseArena* recycle_arena = nullptr);
+                                   util::ClauseArena* recycle_arena = nullptr,
+                                   const CertOptions& cert = {});
 
 }  // namespace satproof::service

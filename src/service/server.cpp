@@ -6,8 +6,10 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
+#include "src/cert/kernel.hpp"
 #include "src/obs/trace.hpp"
 
 namespace satproof::service {
@@ -423,6 +425,20 @@ bool Server::handle_frame(Connection& conn, Frame& frame) {
                               "unknown backend id " +
                                   std::to_string(header.backend));
       }
+      if ((header.flags & kSubmitFlagCertify) != 0) {
+        const auto b = static_cast<Backend>(header.backend);
+        if (b != Backend::kDf && b != Backend::kHybrid) {
+          return protocol_error(
+              ErrorCode::kBadRequest,
+              "certificate emission requires the df or hybrid backend");
+        }
+        if ((header.flags & kSubmitFlagWait) == 0) {
+          // A certificate only travels on the result path; fire-and-forget
+          // certify jobs would do the work and drop the bytes.
+          return protocol_error(ErrorCode::kBadRequest,
+                                "certify requires the wait flag");
+        }
+      }
       upload.begin(header);
       return true;
     }
@@ -458,6 +474,7 @@ bool Server::handle_frame(Connection& conn, Frame& frame) {
       request.timeout_ms = upload.header.timeout_ms != 0
                                ? upload.header.timeout_ms
                                : options_.default_timeout_ms;
+      request.certify = (upload.header.flags & kSubmitFlagCertify) != 0;
       request.cnf_file = std::move(*upload.cnf_file);
       request.trace_file = std::move(*upload.trace_file);
       request.enqueued_at = Clock::now();
@@ -465,6 +482,7 @@ bool Server::handle_frame(Connection& conn, Frame& frame) {
       obs::emit("ingest", upload.ingest_start_us, request.ingest_us);
       const std::uint64_t job_id = request.id;
       const bool wait = (upload.header.flags & kSubmitFlagWait) != 0;
+      const bool certify = request.certify;
       // Lane: trust the declaration when it is honest, the measured
       // upload when it is absent or understated.
       const std::uint64_t effective_bytes =
@@ -477,8 +495,8 @@ bool Server::handle_frame(Connection& conn, Frame& frame) {
                      ? Lane::kBulk
                      : Lane::kFast;
       const std::uint64_t conn_key = conn.key;
-      job.on_done = [this, conn_key, job_id, wait](JobOutcome outcome,
-                                                   bool timed_out) {
+      job.on_done = [this, conn_key, job_id, wait, certify](
+                        JobOutcome outcome, bool timed_out) {
         CompletionMsg msg;
         msg.conn_key = conn_key;
         if (wait) {
@@ -490,6 +508,18 @@ bool Server::handle_frame(Connection& conn, Frame& frame) {
               FrameTag::kResult,
               encode_result(status, job_id, verdict_line(outcome),
                             outcome_json(outcome)));
+          if (certify && status == JobStatus::kOk &&
+              !outcome.certificate.empty()) {
+            // Two frames in one completion: the client reads kResult, then
+            // its certificate. msg.frame is raw wire bytes, so frames
+            // concatenate; legacy non-certify clients never reach here.
+            const std::vector<std::uint8_t> cert_frame = make_wire_frame(
+                FrameTag::kResultCert,
+                encode_result_cert(job_id, /*binary_format=*/false,
+                                   outcome.certificate));
+            msg.frame.insert(msg.frame.end(), cert_frame.begin(),
+                             cert_frame.end());
+          }
         }
         {
           std::lock_guard lock(completions_mutex_);
@@ -671,9 +701,36 @@ void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
     timed_out = true;
   } else {
     obs::Span run_span("run");
-    outcome = run_check(request.cnf_file.path().string(),
-                        request.trace_file.path().string(), request.backend,
-                        request.jobs, &arena);
+    if (request.certify) {
+      // Certify into memory; the bytes ship in the RESULT_CERT frame.
+      std::ostringstream cert_sink;
+      CertOptions cert;
+      cert.sink = &cert_sink;
+      outcome = run_check(request.cnf_file.path().string(),
+                          request.trace_file.path().string(), request.backend,
+                          request.jobs, &arena, cert);
+      outcome.certificate = std::move(cert_sink).str();
+      if (options_.certify && outcome.ok) {
+        // Trusted-kernel post-check: re-verify the certificate against the
+        // original CNF before reporting success.
+        obs::Span kern_span("kernel_verify");
+        std::ifstream cnf_in(request.cnf_file.path(),
+                             std::ios::in | std::ios::binary);
+        std::istringstream cert_in(outcome.certificate);
+        const kern::VerifyResult kv = kern::verify_lrat(cnf_in, cert_in);
+        metrics_.on_certified(kv.verified);
+        if (!kv.verified) {
+          outcome.ok = false;
+          outcome.error = "kernel rejected certificate at line " +
+                          std::to_string(kv.line) + ": " + kv.error;
+          outcome.certificate.clear();
+        }
+      }
+    } else {
+      outcome = run_check(request.cnf_file.path().string(),
+                          request.trace_file.path().string(), request.backend,
+                          request.jobs, &arena);
+    }
     run_span.finish();
     if (has_deadline && Clock::now() > deadline) {
       // Soft timeout: checking is not preemptible, so an overlong job is

@@ -42,6 +42,11 @@ struct ServerOptions {
   /// Upload size (declared, or measured when undeclared) at which a job
   /// is scheduled on the bulk lane instead of the fast lane.
   std::uint64_t bulk_threshold_bytes = kBulkLaneThresholdBytes;
+  /// Run the trusted kernel over every certificate emitted for a certify
+  /// job before reporting success (`satproof serve --certify`). A kernel
+  /// REJECT turns the job into an error outcome — the service never ships
+  /// a certificate it could not verify itself.
+  bool certify = false;
 };
 
 /// The satproofd daemon: accepts proof-checking jobs over the framed

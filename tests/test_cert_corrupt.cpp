@@ -1,0 +1,275 @@
+// Corrupt-certificate rejection sweep for the trusted kernel: every
+// tampering mode — altered hints, reordered steps, bad or missing
+// deletions, truncated files, a certificate that never derives the empty
+// clause — must REJECT with a diagnostic naming the offending line (text)
+// or record index (binary). The kernel is the trust anchor of the whole
+// certificate pipeline, so its rejection behavior is pinned as precisely
+// as its acceptance behavior.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/cert/kernel.hpp"
+
+namespace satproof {
+namespace {
+
+// An 8-clause UNSAT fixture (every assignment falsified by construction).
+constexpr const char* kCnf =
+    "p cnf 4 8\n"
+    "1 2 0\n"
+    "1 -2 0\n"
+    "-1 3 0\n"
+    "-1 -3 0\n"
+    "2 4 0\n"
+    "-2 -4 0\n"
+    "3 -4 0\n"
+    "-3 4 0\n";
+
+// The canonical valid certificate: derive {1} from clauses 1,2, then the
+// empty clause from 9 (unit) and clauses 3,4.
+constexpr const char* kValidCert =
+    "9 1 0 1 2 0\n"
+    "10 0 9 3 4 0\n";
+
+kern::VerifyResult verify(const std::string& cert,
+                          const std::string& cnf = kCnf) {
+  std::istringstream cnf_in(cnf);
+  std::istringstream cert_in(cert);
+  return kern::verify_lrat(cnf_in, cert_in);
+}
+
+TEST(CertCorrupt, ValidBaselineVerifies) {
+  const kern::VerifyResult r = verify(kValidCert);
+  EXPECT_TRUE(r.verified) << r.error;
+  EXPECT_EQ(r.additions, 2u);
+  EXPECT_EQ(r.deletions, 0u);
+}
+
+// --- tampered hints ----------------------------------------------------
+
+TEST(CertCorrupt, SatisfiedHintRejects) {
+  // Hint 3 is {-1, 3}; under the assignment falsifying {1}, -1 is true.
+  const kern::VerifyResult r = verify("9 1 0 1 3 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("satisfied"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, NonUnitHintRejects) {
+  // Deriving the empty clause directly: hint 3 = {-1, 3} has two
+  // unassigned literals under the empty assignment.
+  const kern::VerifyResult r = verify("9 0 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("neither unit nor falsified"), std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, HintsEndingWithoutConflictReject) {
+  const kern::VerifyResult r = verify("9 1 0 1 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("without reaching a conflict"), std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, UnknownHintRejects) {
+  const kern::VerifyResult r = verify("9 1 0 1 42 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("unknown clause 42"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, NegativeRatHintRejects) {
+  const kern::VerifyResult r = verify("9 1 0 -1 2 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("RAT"), std::string::npos) << r.error;
+}
+
+// --- reordered steps ---------------------------------------------------
+
+TEST(CertCorrupt, ReorderedStepsReject) {
+  // Swapping the two additions makes line 1 reference clause 9 before it
+  // exists.
+  const kern::VerifyResult r = verify("10 0 9 3 4 0\n9 1 0 1 2 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("unknown clause 9"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, NonIncreasingIdRejects) {
+  const kern::VerifyResult r = verify("9 1 0 1 2 0\n5 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);
+  EXPECT_NE(r.error.find("does not exceed"), std::string::npos) << r.error;
+}
+
+// --- deletions ---------------------------------------------------------
+
+TEST(CertCorrupt, UseAfterDeleteRejects) {
+  // A deletion the emitter would never write: clause 9 is still needed.
+  const kern::VerifyResult r =
+      verify("9 1 0 1 2 0\n9 d 9 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 3u);
+  EXPECT_NE(r.error.find("deleted clause 9"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, DeleteUnknownClauseRejects) {
+  const kern::VerifyResult r =
+      verify("9 1 0 1 2 0\n9 d 42 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);
+  EXPECT_NE(r.error.find("unknown clause 42"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, DoubleDeleteRejects) {
+  const kern::VerifyResult r =
+      verify("9 1 0 1 2 0\n9 d 5 0\n9 d 5 0\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 3u);
+  EXPECT_NE(r.error.find("already deleted"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, DeletingUnusedClauseStillVerifies) {
+  // Deleting a clause the rest of the proof never touches is legal; the
+  // rejection cases above are about *misuse*, not deletion per se.
+  const kern::VerifyResult r =
+      verify("9 1 0 1 2 0\n9 d 5 6 0\n10 0 9 3 4 0\n");
+  EXPECT_TRUE(r.verified) << r.error;
+  EXPECT_EQ(r.deletions, 2u);
+}
+
+// --- truncation and malformed records ----------------------------------
+
+TEST(CertCorrupt, TruncatedHintListRejects) {
+  const kern::VerifyResult r = verify("9 1 0 1 2 0\n10 0 9 3");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, TruncatedLiteralListRejects) {
+  const kern::VerifyResult r = verify("9 1");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, TrailingTokensReject) {
+  const kern::VerifyResult r = verify("9 1 0 1 2 0 7\n10 0 9 3 4 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("trailing tokens"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, EmptyCertificateRejects) {
+  const kern::VerifyResult r = verify("");
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("empty"), std::string::npos) << r.error;
+}
+
+// --- certificates that never reach the empty clause --------------------
+
+TEST(CertCorrupt, MissingFinalEmptyClauseRejects) {
+  const kern::VerifyResult r = verify("9 1 0 1 2 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("without deriving the empty clause"),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, NonEmptyFinalClauseRejects) {
+  // Both steps check, but the last derived clause is {1}, not {} — the
+  // certificate proves nothing about unconditional unsatisfiability.
+  const kern::VerifyResult r = verify("9 1 0 1 2 0\n10 1 0 9 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);
+  EXPECT_NE(r.error.find("without deriving the empty clause"),
+            std::string::npos)
+      << r.error;
+}
+
+// --- binary (GRIT-style) variant ---------------------------------------
+
+// The fixture's valid binary certificate (same proof, varint-encoded).
+std::string valid_binary() {
+  return std::string("\x61\x09\x02\x00\x01\x02\x00"
+                     "\x61\x0a\x00\x09\x03\x04\x00",
+                     14);
+}
+
+TEST(CertCorrupt, ValidBinaryVerifies) {
+  const kern::VerifyResult r = verify(valid_binary());
+  EXPECT_TRUE(r.verified) << r.error;
+  EXPECT_EQ(r.additions, 2u);
+}
+
+TEST(CertCorrupt, TruncatedBinaryRejects) {
+  std::string cert = valid_binary();
+  cert.resize(cert.size() - 3);  // cut mid-record
+  const kern::VerifyResult r = verify(cert);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);  // record index, not byte offset
+  EXPECT_NE(r.error.find("truncated"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, BinaryUnknownTagRejects) {
+  std::string cert = valid_binary();
+  cert[7] = 'x';  // second record's tag byte
+  const kern::VerifyResult r = verify(cert);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 2u);
+  EXPECT_NE(r.error.find("unknown record tag"), std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, BinaryBadLiteralEncodingRejects) {
+  std::string cert = valid_binary();
+  cert[2] = '\x01';  // literal varint 1 => magnitude 0: invalid
+  const kern::VerifyResult r = verify(cert);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos) << r.error;
+}
+
+TEST(CertCorrupt, BinaryTamperedHintRejects) {
+  std::string cert = valid_binary();
+  cert[4] = '\x03';  // first record's hints become 3,2: hint 3 satisfied
+  const kern::VerifyResult r = verify(cert);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.line, 1u);
+  EXPECT_NE(r.error.find("satisfied"), std::string::npos) << r.error;
+}
+
+// --- hostile CNF input -------------------------------------------------
+
+TEST(CertCorrupt, CnfLiteralOutOfRangeRejects) {
+  const kern::VerifyResult r =
+      verify(kValidCert, "p cnf 2 1\n1 5 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("exceeds the declared variable count"),
+            std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, CnfClauseCountMismatchRejects) {
+  const kern::VerifyResult r = verify(kValidCert, "p cnf 2 3\n1 2 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("declares 3 clauses"), std::string::npos)
+      << r.error;
+}
+
+TEST(CertCorrupt, CnfMissingHeaderRejects) {
+  const kern::VerifyResult r = verify(kValidCert, "1 2 0\n");
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("problem line"), std::string::npos) << r.error;
+}
+
+}  // namespace
+}  // namespace satproof

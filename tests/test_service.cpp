@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cert/kernel.hpp"
 #include "src/service/client.hpp"
 #include "src/service/protocol.hpp"
 #include "src/service/run_check.hpp"
@@ -474,6 +475,75 @@ TEST_F(ServiceE2E, MultiWorkerServerMatchesDirectVerdicts) {
   const std::string json = server_->metrics_json();
   EXPECT_NE(json.find("\"completed\":8"), std::string::npos);
   EXPECT_NE(json.find("\"count\":4"), std::string::npos);  // workers block
+}
+
+TEST_F(ServiceE2E, CertifySubmitReturnsKernelVerifiableCertificate) {
+  ServerOptions opts;
+  opts.certify = true;  // server re-verifies with the trusted kernel
+  start_server(opts);
+
+  for (const Backend backend : {Backend::kDf, Backend::kHybrid}) {
+    Client client = connect();
+    const Client::SubmitReply reply =
+        client.submit(fx_->php4(), fx_->trace4(), backend, /*wait=*/true,
+                      /*jobs=*/0, /*timeout_ms=*/0, /*certify=*/true);
+    ASSERT_TRUE(reply.transport_ok) << reply.error;
+    ASSERT_EQ(reply.status, JobStatus::kOk) << reply.verdict;
+    ASSERT_TRUE(reply.have_certificate);
+    ASSERT_FALSE(reply.certificate.empty());
+
+    // The shipped certificate must re-verify independently.
+    std::ifstream cnf_in(fx_->php4());
+    std::istringstream cert_in(reply.certificate);
+    const kern::VerifyResult kv = kern::verify_lrat(cnf_in, cert_in);
+    EXPECT_TRUE(kv.verified) << "line " << kv.line << ": " << kv.error;
+  }
+
+  // Both post-checks passed and were counted.
+  const std::string prom = server_->metrics_prometheus();
+  EXPECT_NE(prom.find("satproofd_certified_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("satproofd_certify_failed_total 0"),
+            std::string::npos);
+}
+
+TEST_F(ServiceE2E, CertifyWithWrongBackendOrWithoutWaitIsBadRequest) {
+  start_server();
+  for (const bool with_wait : {true, false}) {
+    Client client = connect();
+    SubmitHeader header;
+    header.backend =
+        static_cast<std::uint8_t>(with_wait ? Backend::kDrup : Backend::kDf);
+    header.flags = kSubmitFlagCertify;
+    if (with_wait) header.flags |= kSubmitFlagWait;
+    ASSERT_TRUE(write_frame(client.socket(), FrameTag::kSubmit,
+                            encode_submit_header(header)));
+    Frame frame;
+    ASSERT_EQ(read_frame(client.socket(), frame), ReadStatus::kFrame);
+    ASSERT_EQ(frame.tag, FrameTag::kError);
+    ErrorCode code = ErrorCode::kMalformedFrame;
+    std::string message;
+    ASSERT_TRUE(decode_error(frame.payload, code, message));
+    EXPECT_EQ(code, ErrorCode::kBadRequest) << message;
+  }
+}
+
+TEST_F(ServiceE2E, LegacyClientsNeverSeeCertFrames) {
+  // A plain wait-mode submit on a --certify server: exactly one RESULT
+  // frame, no RESULT_CERT, and the connection stays usable.
+  ServerOptions opts;
+  opts.certify = true;
+  start_server(opts);
+  Client client = connect();
+  const Client::SubmitReply first =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, /*wait=*/true);
+  ASSERT_TRUE(first.transport_ok) << first.error;
+  EXPECT_EQ(first.status, JobStatus::kOk);
+  EXPECT_FALSE(first.have_certificate);
+  // Were a stray cert frame queued, this next exchange would desync.
+  const Client::SubmitReply second =
+      client.submit(fx_->php4(), fx_->trace4(), Backend::kDf, /*wait=*/true);
+  ASSERT_TRUE(second.transport_ok) << second.error;
+  EXPECT_EQ(second.status, JobStatus::kOk);
 }
 
 }  // namespace

@@ -74,12 +74,17 @@ def extract(bench, baseline_doc, current_doc):
         base = baseline_doc.get("quick") or baseline_doc.get("arena") or {}
         cur = current_doc.get("arena") or current_doc
         keys = ("df_seconds", "bf_seconds", "hybrid_seconds")
-        return (
-            totals_metrics(base.get("totals", {}), keys),
-            totals_metrics(cur.get("totals", {}), keys),
-            base.get("suite"),
-            cur.get("suite"),
-        )
+        base_metrics = totals_metrics(base.get("totals", {}), keys)
+        cur_metrics = totals_metrics(cur.get("totals", {}), keys)
+        # The LRAT-emission DF sweep gates like any other wall time, so
+        # certificate emission cannot silently get slower (older baselines
+        # without the block simply don't contribute the metric).
+        base_lrat = baseline_doc.get("lrat_overhead_quick") or {}
+        cur_lrat = current_doc.get("lrat_overhead") or {}
+        if "df_seconds_emitting" in base_lrat and "df_seconds_emitting" in cur_lrat:
+            base_metrics["df_seconds_emitting"] = base_lrat["df_seconds_emitting"]
+            cur_metrics["df_seconds_emitting"] = cur_lrat["df_seconds_emitting"]
+        return (base_metrics, cur_metrics, base.get("suite"), cur.get("suite"))
     if bench == "parallel":
         base = baseline_doc.get("parallel_quick") or baseline_doc
         cur = current_doc

@@ -89,14 +89,27 @@ usage:
       wavefront-parallel depth-first across N worker threads (--jobs,
       default: all hardware threads; identical verdict, core and stats to
       df); rup cross-validates every derived clause by reverse unit
-      propagation instead of replaying resolutions. The flags --bf,
-      --hybrid and --rup remain as shorthands. --stats appends a line with
-      clause-arena traffic (bytes allocated/recycled/peak) and total peak
-      checker memory; --stats=json emits the same counters as one JSON
-      object (the same serializer the service stats reply uses). Binary
-      traces are detected automatically; --binary stays accepted.
+      propagation instead of replaying resolutions; auto picks df for
+      small traces and the memory-light hybrid for large ones (the
+      selection is recorded in the --stats=json "backend" field). The
+      flags --bf, --hybrid and --rup remain as shorthands. --stats
+      appends a line with clause-arena traffic (bytes
+      allocated/recycled/peak) and total peak checker memory;
+      --stats=json emits the same counters as one JSON object (the same
+      serializer the service stats reply uses) plus a final "backend" key
+      naming the backend that actually ran. Binary traces are detected
+      automatically; --binary stays accepted.
       --trace-out FILE writes a Chrome-trace JSON profile with the
       checker's stage spans (parse/index/replay/...).
+
+  satproof export-lrat <file.cnf> <trace-file> -o cert.lrat
+                       [--checker=df|hybrid|auto] [--binary-cert]
+      replay the trace (df by default) and stream a hint-annotated LRAT
+      certificate of unsatisfiability to the output file; exit 0 iff the
+      check passed and the certificate was written. --binary-cert emits
+      the compact binary GRIT-style variant instead of text. Re-verify
+      with the independent trusted kernel:  satproof-kern <file.cnf>
+      <cert.lrat>  (see docs/CERTIFICATES.md).
 
   satproof serve (--socket PATH | --tcp PORT | both) [options]
       run satproofd, the batch proof-checking daemon (see docs/SERVICE.md)
@@ -110,15 +123,21 @@ usage:
       --idle-timeout-ms N  drop connections silent this long (default 30000)
       --slow-job-ms N  dump a span-tree profile to stderr for any job
                        slower than N ms (0 = off, the default)
+      --certify        re-verify every certified job's LRAT output with
+                       the trusted kernel before replying (counted in the
+                       satproofd_certified_total metrics)
       SIGTERM/SIGINT drain gracefully: running jobs finish, new work is
       refused, then the daemon exits 0.
 
   satproof submit <file.cnf> <trace-file> (--socket PATH | --tcp PORT)
                   [--backend=MODE] [--jobs N] [--wait] [--timeout-ms N]
+                  [--certify [--cert-out FILE]]
       submit one checking job to a running daemon. --backend picks
       df | bf | hybrid | parallel | drup (default df; drup treats the
       trace argument as a DRUP proof). --wait blocks for the verdict and
-      exits 0 iff the proof checked out.
+      exits 0 iff the proof checked out. --certify (df/hybrid only,
+      implies --wait) asks the daemon for an LRAT certificate, delivered
+      in a RESULT_CERT frame; --cert-out saves it to a file.
 
   satproof stats (--socket PATH | --tcp PORT) [--format=json|prometheus]
       print a running daemon's metrics snapshot (JSON by default;
@@ -551,6 +570,23 @@ int cmd_solve(Args args, std::ostream& out, std::ostream& err) {
 
 // ----------------------------------------------------------------- check
 
+/// --checker=auto: depth-first is the fast replay but keeps the whole
+/// trace plus every memoized clause resident; past this trace size the
+/// hybrid's bounded clause window is the safer default. The threshold is
+/// a heuristic on the trace file size (the dominant memory driver), and
+/// the choice is recorded in the stats "backend" field.
+constexpr std::uint64_t kAutoHybridTraceBytes = 64ull << 20;
+
+service::Backend resolve_auto_backend(const std::string& trace_path) {
+  std::ifstream in(trace_path, std::ios::in | std::ios::binary | std::ios::ate);
+  const std::streamoff size = in ? static_cast<std::streamoff>(in.tellg())
+                                 : std::streamoff{0};
+  return (size > 0 &&
+          static_cast<std::uint64_t>(size) >= kAutoHybridTraceBytes)
+             ? service::Backend::kHybrid
+             : service::Backend::kDf;
+}
+
 int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   const bool use_bf = args.take_flag("--bf");
   const bool use_hybrid = args.take_flag("--hybrid");
@@ -582,8 +618,8 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
                      : use_rup    ? "rup"
                                   : checker_opt.value_or("df");
   if (mode != "df" && mode != "bf" && mode != "hybrid" && mode != "rup" &&
-      mode != "parallel") {
-    throw CliError("--checker expects df, bf, hybrid, rup or parallel");
+      mode != "parallel" && mode != "auto") {
+    throw CliError("--checker expects df, bf, hybrid, rup, parallel or auto");
   }
 
   util::Timer timer;
@@ -617,10 +653,11 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   // so a CLI verdict and a `satproof submit` verdict come from one code path.
   // Binary traces are detected by their magic; --binary stays accepted as a
   // no-op for compatibility.
-  const std::optional<service::Backend> backend =
-      service::backend_from_name(mode);
+  const service::Backend backend =
+      mode == "auto" ? resolve_auto_backend(trace_path)
+                     : *service::backend_from_name(mode);
   const service::JobOutcome result =
-      service::run_check(cnf_path, trace_path, *backend, jobs);
+      service::run_check(cnf_path, trace_path, backend, jobs);
   if (result.ok) {
     if (result.failed_assumption_clause.empty()) {
       out << "VERIFIED: valid resolution proof of unsatisfiability ("
@@ -635,7 +672,11 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
           << timer.elapsed_seconds() << "s)\n";
     }
     if (stats_json) {
-      out << service::check_stats_json(result.stats) << "\n";
+      // The backend field reports what actually ran, so `--checker=auto`
+      // records accurate certificate/stats provenance.
+      out << service::check_stats_json(result.stats,
+                                       service::backend_name(result.backend))
+          << "\n";
     } else if (want_stats) {
       const checker::CheckStats& st = result.stats;
       out << "stats: arena " << st.arena_allocated_bytes
@@ -647,6 +688,52 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   }
   err << "CHECK FAILED: " << result.error << "\n";
   return kExitError;
+}
+
+// ----------------------------------------------------------- export-lrat
+
+int cmd_export_lrat(Args args, std::ostream& out, std::ostream& err) {
+  const auto out_path = args.take_option("-o");
+  if (!out_path) throw CliError("export-lrat requires -o FILE");
+  const bool binary_cert = args.take_flag("--binary-cert");
+  std::string mode = "df";
+  if (const auto v = args.take_option("--checker")) {
+    if (*v != "df" && *v != "hybrid" && *v != "auto") {
+      throw CliError("export-lrat --checker expects df, hybrid or auto");
+    }
+    mode = *v;
+  }
+  const auto trace_out_path = args.take_option("--trace-out");
+  const std::string cnf_path = args.next("CNF file");
+  const std::string trace_path = args.next("trace file");
+  args.expect_done();
+  ScopedTraceOut scoped_trace(trace_out_path, err);
+
+  const service::Backend backend =
+      mode == "auto" ? resolve_auto_backend(trace_path)
+                     : *service::backend_from_name(mode);
+  std::ofstream cert_out(*out_path, binary_cert
+                                        ? std::ios::out | std::ios::binary
+                                        : std::ios::out);
+  if (!cert_out) throw CliError("cannot open certificate file " + *out_path);
+
+  util::Timer timer;
+  service::CertOptions copts;
+  copts.sink = &cert_out;
+  copts.binary = binary_cert;
+  const service::JobOutcome result =
+      service::run_check(cnf_path, trace_path, backend, 0, nullptr, copts);
+  if (!result.ok) {
+    err << "EXPORT FAILED: " << result.error << "\n";
+    return kExitError;
+  }
+  out << "exported LRAT certificate (" << service::backend_name(result.backend)
+      << " replay): " << result.cert_additions << " additions, "
+      << result.cert_deletions << " deletions -> " << *out_path << " ("
+      << timer.elapsed_seconds() << "s)\n"
+      << "verify independently with: satproof-kern " << cnf_path << " "
+      << *out_path << "\n";
+  return 0;
 }
 
 // ------------------------------------------------------------------ core
@@ -746,6 +833,7 @@ int cmd_serve(Args args, std::ostream& out, std::ostream&) {
   if (const auto v = args.take_option("--slow-job-ms")) {
     opts.slow_job_ms = static_cast<std::uint32_t>(parse_u64(*v, "--slow-job-ms"));
   }
+  opts.certify = args.take_flag("--certify");
   args.expect_done();
   if (opts.unix_socket_path.empty() && !opts.enable_tcp) {
     throw CliError("serve needs --socket PATH and/or --tcp PORT");
@@ -804,14 +892,20 @@ int cmd_submit(Args args, std::ostream& out, std::ostream& err) {
   if (const auto v = args.take_option("--timeout-ms")) {
     timeout_ms = static_cast<std::uint32_t>(parse_u64(*v, "--timeout-ms"));
   }
-  const bool wait = args.take_flag("--wait");
+  bool wait = args.take_flag("--wait");
+  const bool certify = args.take_flag("--certify");
+  const auto cert_out_path = args.take_option("--cert-out");
+  if (certify) wait = true;  // the certificate rides the result path
+  if (cert_out_path && !certify) {
+    throw CliError("--cert-out requires --certify");
+  }
   service::Client client = connect_client(args);
   const std::string cnf_path = args.next("CNF file");
   const std::string trace_path = args.next("trace file");
   args.expect_done();
 
-  const service::Client::SubmitReply reply =
-      client.submit(cnf_path, trace_path, backend, wait, jobs, timeout_ms);
+  const service::Client::SubmitReply reply = client.submit(
+      cnf_path, trace_path, backend, wait, jobs, timeout_ms, certify);
   if (!reply.transport_ok) {
     err << "error: " << reply.error << "\n";
     return kExitError;
@@ -832,6 +926,28 @@ int cmd_submit(Args args, std::ostream& out, std::ostream& err) {
   }
   if (reply.status == service::JobStatus::kOk) {
     out << reply.verdict << "\n";
+    if (certify) {
+      if (!reply.have_certificate) {
+        err << "error: ok certify result arrived without a certificate\n";
+        return kExitError;
+      }
+      if (cert_out_path) {
+        std::ofstream cert_file(*cert_out_path,
+                                std::ios::out | std::ios::binary);
+        cert_file.write(reply.certificate.data(),
+                        static_cast<std::streamsize>(
+                            reply.certificate.size()));
+        if (!cert_file) {
+          err << "error: cannot write " << *cert_out_path << "\n";
+          return kExitError;
+        }
+        out << "certificate: " << reply.certificate.size() << " bytes -> "
+            << *cert_out_path << "\n";
+      } else {
+        out << "certificate: " << reply.certificate.size()
+            << " bytes (use --cert-out FILE to save)\n";
+      }
+    }
     return 0;
   }
   err << reply.verdict << "\n";
@@ -1073,6 +1189,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
     if (args[0] == "solve") return cmd_solve(std::move(rest), out, err);
     if (args[0] == "check") return cmd_check(std::move(rest), out, err);
+    if (args[0] == "export-lrat") {
+      return cmd_export_lrat(std::move(rest), out, err);
+    }
     if (args[0] == "serve") return cmd_serve(std::move(rest), out, err);
     if (args[0] == "submit") return cmd_submit(std::move(rest), out, err);
     if (args[0] == "stats") return cmd_stats(std::move(rest), out, err);

@@ -1,0 +1,38 @@
+// satproof-kern: the trusted certificate checker binary.
+//
+// Usage: satproof-kern <cnf> <cert.lrat>
+// Prints VERIFIED (exit 0) or REJECTED with a diagnostic (exit 1);
+// exit 2 on usage or file-open errors. Deliberately minimal — it links
+// only src/cert/kernel.cpp and the C++ standard library.
+
+#include <fstream>
+#include <iostream>
+
+#include "src/cert/kernel.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: satproof-kern <cnf> <cert.lrat>\n";
+    return 2;
+  }
+  std::ifstream cnf(argv[1], std::ios::binary);
+  if (!cnf) {
+    std::cerr << "satproof-kern: cannot open CNF file " << argv[1] << "\n";
+    return 2;
+  }
+  std::ifstream cert(argv[2], std::ios::binary);
+  if (!cert) {
+    std::cerr << "satproof-kern: cannot open certificate " << argv[2] << "\n";
+    return 2;
+  }
+  const satproof::kern::VerifyResult r = satproof::kern::verify_lrat(cnf, cert);
+  if (r.verified) {
+    std::cout << "VERIFIED additions=" << r.additions
+              << " deletions=" << r.deletions << "\n";
+    return 0;
+  }
+  std::cout << "REJECTED";
+  if (r.line != 0) std::cout << " line " << r.line;
+  std::cout << ": " << r.error << "\n";
+  return 1;
+}

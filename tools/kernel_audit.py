@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI gate for the trusted kernel's audit budget.
+
+The whole point of satproof-kern is that a skeptical reviewer can read it
+end to end: a few hundred lines of plain standard C++, no project
+dependencies, no clever memory layer. This script fails CI when the
+kernel creeps past that budget — either by growing beyond the line limit
+or by gaining an include outside the C++ standard library.
+
+Audited files: src/cert/kernel.hpp, src/cert/kernel.cpp and
+tools/kern_main.cpp (everything linked into the satproof-kern binary).
+
+Usage: tools/kernel_audit.py [--repo DIR]
+Exit: 0 within budget, 1 violation, 2 usage/missing file.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+MAX_NONCOMMENT_LINES = 600
+
+AUDITED_FILES = [
+    "src/cert/kernel.hpp",
+    "src/cert/kernel.cpp",
+    "tools/kern_main.cpp",
+]
+
+# The C++ standard library headers the kernel may use (a deliberate
+# allowlist, not "anything in angle brackets": <unistd.h> or a vendored
+# header must fail review here, not slip through).
+STD_HEADERS = {
+    "algorithm", "array", "cctype", "cerrno", "charconv", "cstdint",
+    "cstdio", "cstdlib", "cstring", "exception", "fstream", "iostream",
+    "istream", "iosfwd", "limits", "memory", "optional", "ostream",
+    "sstream", "stdexcept", "string", "string_view", "utility", "vector",
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (string literals in the kernel never
+    contain comment markers, so a lexer-grade pass is not needed)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=Path(__file__).resolve().parent.parent,
+                        type=Path, help="repository root (default: auto)")
+    args = parser.parse_args()
+
+    total_lines = 0
+    violations = []
+    for rel in AUDITED_FILES:
+        path = args.repo / rel
+        if not path.is_file():
+            print(f"kernel_audit: missing audited file {rel}", file=sys.stderr)
+            return 2
+        text = path.read_text(encoding="utf-8")
+
+        stripped = strip_comments(text)
+        lines = sum(1 for line in stripped.splitlines() if line.strip())
+        total_lines += lines
+        print(f"kernel_audit: {rel}: {lines} non-comment lines")
+
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            quote, header = m.groups()
+            if quote == '"':
+                # The kernel's own headers are the only quoted includes
+                # allowed — anything else is a project dependency.
+                if header not in ("src/cert/kernel.hpp",):
+                    violations.append(
+                        f"{rel}:{lineno}: project include \"{header}\"")
+            elif header not in STD_HEADERS:
+                violations.append(
+                    f"{rel}:{lineno}: non-standard header <{header}>")
+
+    print(f"kernel_audit: total {total_lines} non-comment lines "
+          f"(budget {MAX_NONCOMMENT_LINES})")
+    if total_lines > MAX_NONCOMMENT_LINES:
+        violations.append(
+            f"total non-comment lines {total_lines} exceed the "
+            f"{MAX_NONCOMMENT_LINES}-line audit budget")
+
+    if violations:
+        for v in violations:
+            print(f"kernel_audit: FAIL: {v}", file=sys.stderr)
+        return 1
+    print("kernel_audit: OK — the kernel is within its audit budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

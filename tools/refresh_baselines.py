@@ -156,8 +156,10 @@ def main():
         "arena": t2_std["arena"],
         "baseline": prev_arena or None,
         "tracing_overhead": t2_std.get("tracing_overhead"),
+        "lrat_overhead": t2_std.get("lrat_overhead"),
         "quick": t2_quick["arena"],
         "tracing_overhead_quick": t2_quick.get("tracing_overhead"),
+        "lrat_overhead_quick": t2_quick.get("lrat_overhead"),
         "parallel_quick": par_quick,
         "micro": micro_std,
         "micro_quick": micro_quick,
