@@ -35,6 +35,10 @@
 //                Note: this keeps tracing live during the timed runs, so
 //                don't combine an artifact run with a regression-gate run.
 
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -47,6 +51,7 @@
 #include "src/checker/breadth_first.hpp"
 #include "src/checker/depth_first.hpp"
 #include "src/checker/hybrid.hpp"
+#include "src/checker/window.hpp"
 #include "src/encode/suite.hpp"
 #include "src/obs/trace.hpp"
 #include "src/solver/solver.hpp"
@@ -61,9 +66,16 @@ using namespace satproof;
 
 constexpr int kTimingRuns = 3;  // wall time is the best of these
 
+// The window backend's budget for the timed column: big enough that every
+// suite trace's resident index fits, small enough that the largest traces
+// shift through several windows (the configuration the >= 0.5x-of-DF
+// speed expectation is stated against).
+constexpr std::size_t kWindowBenchBudget = 4u << 20;
+
 struct BackendNumbers {
   double seconds = 0.0;
-  std::size_t peak_bytes = 0;
+  std::size_t peak_bytes = 0;  ///< checker-reported (MemTracker + arena)
+  std::size_t rss_bytes = 0;   ///< OS-reported peak RSS delta (getrusage)
   checker::CheckResult result;
 };
 
@@ -71,8 +83,50 @@ struct InstanceNumbers {
   std::string name;
   std::uintmax_t trace_bytes = 0;
   double solve_seconds = 0.0;
-  BackendNumbers df, bf, hybrid;
+  BackendNumbers df, bf, hybrid, window;
 };
+
+/// Runs `fn` in a forked child and returns the child's peak RSS in bytes
+/// (0 on fork/measure failure). fork() resets the child's RSS high-water
+/// mark to its current RSS, so the measurement starts from the inherited
+/// image — callers subtract a no-op child's reading to isolate what `fn`
+/// itself touched. The child leaves via _exit so no parent-owned
+/// destructor (TempFile unlinks!) or stdio flush runs twice.
+template <typename Fn>
+std::size_t forked_peak_rss(Fn fn) {
+  int fds[2];
+  if (::pipe(fds) != 0) return 0;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return 0;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    try {
+      fn();
+    } catch (...) {
+      ::_exit(1);
+    }
+    struct rusage ru {};
+    ::getrusage(RUSAGE_SELF, &ru);
+    const auto bytes =
+        static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // Linux: KB
+    const ssize_t wrote = ::write(fds[1], &bytes, sizeof bytes);
+    ::_exit(wrote == sizeof bytes ? 0 : 1);
+  }
+  ::close(fds[1]);
+  std::uint64_t bytes = 0;
+  const ssize_t got = ::read(fds[0], &bytes, sizeof bytes);
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (got != sizeof bytes || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(bytes);
+}
 
 /// Opens the binary trace for one timed checking run.
 std::unique_ptr<trace::TraceReader> open_trace(std::ifstream& in,
@@ -151,7 +205,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"Instance", "Trace (KB)", "Solve (s)", "DF Cls Built",
                      "Built%", "DF Time (s)", "DF Peak (KB)", "BF Time (s)",
-                     "BF Peak (KB)", "HY Time (s)", "HY Peak (KB)"});
+                     "BF Peak (KB)", "HY Time (s)", "HY Peak (KB)",
+                     "WN Time (s)", "WN Peak (KB)"});
 
   // Tracing-overhead probe: when emitting JSON (and not already recording
   // a --trace-out artifact), re-time the DF sweep with a live TraceSession
@@ -203,6 +258,40 @@ int main(int argc, char** argv) {
                               [&](trace::TraceReader& r) {
                                 return checker::check_hybrid(inst.formula, r);
                               });
+    checker::WindowOptions wopts;
+    wopts.mem_limit_bytes = kWindowBenchBudget;
+    row.window = time_backend(path, "window", inst.name,
+                              [&](trace::TraceReader& r) {
+                                return checker::check_window(inst.formula, r,
+                                                             wopts);
+                              });
+
+    // OS-level peak-RSS per backend, one forked child each, against a
+    // no-op child's baseline — so BENCH_checkers.json records what each
+    // backend really costs the machine, not just what MemTracker counts.
+    {
+      const std::size_t base_rss = forked_peak_rss([] {});
+      const auto measure = [&](auto check) {
+        const std::size_t rss = forked_peak_rss([&] {
+          std::ifstream in;
+          const auto reader = open_trace(in, path);
+          if (!check(*reader).ok) throw std::runtime_error("check failed");
+        });
+        return rss > base_rss ? rss - base_rss : 0;
+      };
+      row.df.rss_bytes = measure([&](trace::TraceReader& r) {
+        return checker::check_depth_first(inst.formula, r);
+      });
+      row.bf.rss_bytes = measure([&](trace::TraceReader& r) {
+        return checker::check_breadth_first(inst.formula, r);
+      });
+      row.hybrid.rss_bytes = measure([&](trace::TraceReader& r) {
+        return checker::check_hybrid(inst.formula, r);
+      });
+      row.window.rss_bytes = measure([&](trace::TraceReader& r) {
+        return checker::check_window(inst.formula, r, wopts);
+      });
+    }
     if (measure_overhead) {
       {
         obs::TraceSession probe;
@@ -242,7 +331,9 @@ int main(int argc, char** argv) {
          util::format_double(row.bf.seconds, 3),
          util::format_kb(row.bf.peak_bytes),
          util::format_double(row.hybrid.seconds, 3),
-         util::format_kb(row.hybrid.peak_bytes)});
+         util::format_kb(row.hybrid.peak_bytes),
+         util::format_double(row.window.seconds, 3),
+         util::format_kb(row.window.peak_bytes)});
     rows.push_back(std::move(row));
   }
 
@@ -251,7 +342,10 @@ int main(int argc, char** argv) {
       << "(paper: check time << solve time; DF faster but memory-hungry;\n"
       << " BF bounded memory; DF builds only 19-90% of learned clauses.\n"
       << " HY columns: the hybrid checker the paper's conclusion calls for —\n"
-      << " builds only the DF subgraph inside a BF-style clause window)\n\n"
+      << " builds only the DF subgraph inside a BF-style clause window.\n"
+      << " WN columns: the window-shifting checker replaying under a "
+      << (kWindowBenchBudget >> 20) << " MB\n"
+      << " --mem-limit budget)\n\n"
       << table.to_string();
 
   if (trace_session) {
@@ -266,16 +360,23 @@ int main(int argc, char** argv) {
   if (json_path.empty()) return 0;
 
   // Totals drive the baseline comparison.
-  double df_secs = 0, bf_secs = 0, hy_secs = 0;
-  std::size_t df_peak = 0, bf_peak = 0, hy_peak = 0;
+  double df_secs = 0, bf_secs = 0, hy_secs = 0, wn_secs = 0;
+  std::size_t df_peak = 0, bf_peak = 0, hy_peak = 0, wn_peak = 0;
+  std::size_t df_rss = 0, bf_rss = 0, hy_rss = 0, wn_rss = 0;
   std::uintmax_t trace_total = 0;
   for (const auto& row : rows) {
     df_secs += row.df.seconds;
     bf_secs += row.bf.seconds;
     hy_secs += row.hybrid.seconds;
+    wn_secs += row.window.seconds;
     df_peak += row.df.peak_bytes;
     bf_peak += row.bf.peak_bytes;
     hy_peak += row.hybrid.peak_bytes;
+    wn_peak += row.window.peak_bytes;
+    df_rss += row.df.rss_bytes;
+    bf_rss += row.bf.rss_bytes;
+    hy_rss += row.hybrid.rss_bytes;
+    wn_rss += row.window.rss_bytes;
     trace_total += row.trace_bytes;
   }
 
@@ -293,13 +394,22 @@ int main(int argc, char** argv) {
     json_backend(current, "bf", row.bf);
     current << ", ";
     json_backend(current, "hybrid", row.hybrid);
+    current << ", ";
+    json_backend(current, "window", row.window);
     current << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  current << "    ],\n    \"totals\": {\"trace_bytes\": " << trace_total
+  current << "    ],\n    \"window_budget_bytes\": " << kWindowBenchBudget
+          << ",\n    \"totals\": {\"trace_bytes\": " << trace_total
           << ", \"df_seconds\": " << df_secs << ", \"bf_seconds\": "
           << bf_secs << ", \"hybrid_seconds\": " << hy_secs
+          << ", \"window_seconds\": " << wn_secs
           << ", \"df_peak_bytes\": " << df_peak << ", \"bf_peak_bytes\": "
-          << bf_peak << ", \"hybrid_peak_bytes\": " << hy_peak << "}\n  }";
+          << bf_peak << ", \"hybrid_peak_bytes\": " << hy_peak
+          << ", \"window_peak_bytes\": " << wn_peak
+          << "},\n    \"memory\": {\"df_rss_bytes\": " << df_rss
+          << ", \"bf_rss_bytes\": " << bf_rss
+          << ", \"hybrid_rss_bytes\": " << hy_rss
+          << ", \"window_rss_bytes\": " << wn_rss << "}\n  }";
 
   std::ofstream js(json_path);
   if (!js) {

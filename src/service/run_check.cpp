@@ -9,6 +9,7 @@
 #include "src/checker/drup.hpp"
 #include "src/checker/hybrid.hpp"
 #include "src/checker/parallel.hpp"
+#include "src/checker/window.hpp"
 #include "src/cnf/dimacs.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -24,6 +25,7 @@ std::optional<Backend> backend_from_name(std::string_view name) {
   if (name == "hybrid") return Backend::kHybrid;
   if (name == "parallel") return Backend::kParallel;
   if (name == "drup") return Backend::kDrup;
+  if (name == "window") return Backend::kWindow;
   return std::nullopt;
 }
 
@@ -34,8 +36,19 @@ const char* backend_name(Backend b) {
     case Backend::kHybrid: return "hybrid";
     case Backend::kParallel: return "parallel";
     case Backend::kDrup: return "drup";
+    case Backend::kWindow: return "window";
   }
   return "?";
+}
+
+Backend select_backend_for_budget(std::uint64_t trace_bytes,
+                                  std::size_t mem_limit_bytes) {
+  if (mem_limit_bytes == 0) return Backend::kDf;
+  // Division, not multiplication: declared trace sizes can be large
+  // enough that 6x would overflow before the compare.
+  if (trace_bytes <= mem_limit_bytes / 6) return Backend::kDf;
+  if (trace_bytes <= mem_limit_bytes / 3) return Backend::kHybrid;
+  return Backend::kWindow;
 }
 
 std::string verdict_line(const JobOutcome& o) {
@@ -150,6 +163,14 @@ bool is_binary_trace(const std::string& path) {
          magic[2] == 'R' && magic[3] == 'F';
 }
 
+/// Size of `path` in bytes (0 when it cannot be measured; the budget
+/// selection then keeps the requested backend).
+std::uint64_t trace_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  return in && size > 0 ? static_cast<std::uint64_t>(size) : 0;
+}
+
 /// Folds one finished run's stats into the process-wide registry. Done
 /// once per check (not on the replay hot path), so the counters cost
 /// nothing while the proof is being verified.
@@ -168,7 +189,7 @@ void bump_global_counters(const JobOutcome& out) {
 JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
                      Backend backend, unsigned jobs,
                      util::ClauseArena* recycle_arena,
-                     const CertOptions& cert) {
+                     const CertOptions& cert, std::size_t mem_limit_bytes) {
   obs::Span check_span("check");
   if (recycle_arena != nullptr) recycle_arena->reset();
   JobOutcome out;
@@ -178,6 +199,21 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
     out.error = "certificate emission requires the df or hybrid backend";
     bump_global_counters(out);
     return out;
+  }
+  // Per-job memory cap: a df/hybrid request whose estimated peak exceeds
+  // the budget runs under the cheapest backend that fits instead.
+  // Certifying runs are exempt (emission requires df/hybrid), and a
+  // budget-picked backend is never *upgraded* — hybrid stays hybrid even
+  // when df would fit.
+  if (mem_limit_bytes != 0 && !certify &&
+      (backend == Backend::kDf || backend == Backend::kHybrid)) {
+    const Backend fits = select_backend_for_budget(
+        trace_file_bytes(trace_path), mem_limit_bytes);
+    if (fits == Backend::kWindow ||
+        (fits == Backend::kHybrid && backend == Backend::kDf)) {
+      backend = fits;
+    }
+    out.backend = backend;
   }
   try {
     obs::Span load_span("load_formula");
@@ -237,6 +273,15 @@ JobOutcome run_check(const std::string& cnf_path, const std::string& trace_path,
         checker::ParallelOptions popts;
         popts.jobs = jobs;
         res = checker::check_parallel(f, *reader, popts);
+        break;
+      }
+      case Backend::kWindow: {
+        checker::WindowOptions wopts;
+        // 0 here means "no cap was set"; keep the WindowOptions default
+        // budget rather than degrading to one unbounded window.
+        if (mem_limit_bytes != 0) wopts.mem_limit_bytes = mem_limit_bytes;
+        wopts.recycle_arena = recycle_arena;
+        res = checker::check_window(f, *reader, wopts);
         break;
       }
       case Backend::kDf:

@@ -19,12 +19,23 @@ enum class Backend : std::uint8_t {
   kHybrid = 2,    ///< reachability-pruned breadth-first window
   kParallel = 3,  ///< wavefront-parallel depth-first
   kDrup = 4,      ///< forward DRUP (trace file holds a DRUP proof)
+  kWindow = 5,    ///< window-shifting replay under a memory budget
 };
 
-inline constexpr std::uint8_t kNumBackends = 5;
+inline constexpr std::uint8_t kNumBackends = 6;
 
 [[nodiscard]] std::optional<Backend> backend_from_name(std::string_view name);
 [[nodiscard]] const char* backend_name(Backend b);
+
+/// Picks the fastest replay backend whose estimated peak fits
+/// `mem_limit_bytes`, from the declared trace size: depth-first while the
+/// whole trace plus its memoized clauses fit (~6x the trace bytes on the
+/// committed bench suite), hybrid while the resident DAG structure fits
+/// (~3x), and the window-shifting backend beyond that — its resident
+/// footprint is a few bytes per derivation, independent of trace length.
+/// A zero budget means "no cap" and selects depth-first.
+[[nodiscard]] Backend select_backend_for_budget(std::uint64_t trace_bytes,
+                                                std::size_t mem_limit_bytes);
 
 /// Everything a checking run produces, minus wall-clock time — so two runs
 /// of the same job are comparable byte for byte. This is the unit the
@@ -86,7 +97,8 @@ struct CertOptions {
 /// `jobs` is the parallel backend's worker count (0 = hardware threads);
 /// other backends ignore it.
 ///
-/// `recycle_arena`, when non-null, backs the df/bf/hybrid clause store so
+/// `recycle_arena`, when non-null, backs the df/bf/hybrid/window clause
+/// store so
 /// repeated checks on one thread reuse already-mapped chunks (it is
 /// reset() before use; the parallel and DRUP backends manage their own
 /// storage and ignore it). Outcomes are byte-identical either way.
@@ -95,10 +107,19 @@ struct CertOptions {
 /// job). A certified run demands unconditional unsatisfiability: traces
 /// that verify only under assumptions, and sink write failures, turn the
 /// outcome into ok == false even though the underlying check passed.
+///
+/// `mem_limit_bytes`, when non-zero, caps the checker's memory use: the
+/// window backend takes it as its budget, and a df/hybrid request whose
+/// estimated peak exceeds it (from the trace file size — see
+/// select_backend_for_budget) is downgraded to the cheapest backend that
+/// fits; JobOutcome::backend records what actually ran. Certifying runs
+/// are never downgraded (emission requires df/hybrid); bf, parallel, and
+/// DRUP are unaffected (bf is already budget-bounded, DRUP streams).
 [[nodiscard]] JobOutcome run_check(const std::string& cnf_path,
                                    const std::string& trace_path,
                                    Backend backend, unsigned jobs = 0,
                                    util::ClauseArena* recycle_arena = nullptr,
-                                   const CertOptions& cert = {});
+                                   const CertOptions& cert = {},
+                                   std::size_t mem_limit_bytes = 0);
 
 }  // namespace satproof::service

@@ -708,7 +708,8 @@ void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
       cert.sink = &cert_sink;
       outcome = run_check(request.cnf_file.path().string(),
                           request.trace_file.path().string(), request.backend,
-                          request.jobs, &arena, cert);
+                          request.jobs, &arena, cert,
+                          options_.mem_limit_bytes);
       outcome.certificate = std::move(cert_sink).str();
       if (options_.certify && outcome.ok) {
         // Trusted-kernel post-check: re-verify the certificate against the
@@ -729,7 +730,7 @@ void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
     } else {
       outcome = run_check(request.cnf_file.path().string(),
                           request.trace_file.path().string(), request.backend,
-                          request.jobs, &arena);
+                          request.jobs, &arena, {}, options_.mem_limit_bytes);
     }
     run_span.finish();
     if (has_deadline && Clock::now() > deadline) {
@@ -747,7 +748,7 @@ void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
       metrics_.on_slow_job();
       // One buffered write so concurrent workers' dumps don't interleave.
       std::string dump = "SLOW-JOB: id=" + std::to_string(request.id) +
-                         " backend=" + backend_name(request.backend) +
+                         " backend=" + backend_name(outcome.backend) +
                          " wall_ms=" + std::to_string(seconds * 1e3) +
                          " threshold_ms=" +
                          std::to_string(options_.slow_job_ms) + "\n" +
@@ -756,10 +757,13 @@ void Server::execute_job(QueuedJob job, util::ClauseArena& arena) {
     }
   }
 
+  // Attribute to the backend that actually ran: the per-job memory cap
+  // may have downgraded a df/hybrid request (outcome.backend tracks it;
+  // for jobs that expired in the queue it is still the requested one).
   if (timed_out) {
-    metrics_.on_timeout(request.backend);
+    metrics_.on_timeout(outcome.backend);
   } else {
-    metrics_.on_completed(request.backend, seconds, outcome.ok,
+    metrics_.on_completed(outcome.backend, seconds, outcome.ok,
                           outcome.stats.arena_peak_bytes);
   }
   running_jobs_.fetch_sub(1);

@@ -209,6 +209,23 @@ void BinaryTraceReader::rewind() {
   done_ = false;
 }
 
+void BinaryTraceReader::seek(std::uint64_t pos) {
+  if (pos < body_start_) fail("seek before first record");
+  try {
+    const auto w = source_->window(pos);
+    win_pos_ = pos;
+    win_begin_ = p_ = w.begin;
+    end_ = w.end;
+  } catch (const std::exception&) {
+    fail("seek failed");
+  }
+  done_ = false;
+}
+
+void BinaryTraceReader::release_hint(std::uint64_t begin, std::uint64_t end) {
+  if (end > begin) source_->release(begin, end - begin);
+}
+
 std::unique_ptr<BinaryTraceReader> open_binary_trace_file(
     const std::string& path) {
   return std::make_unique<BinaryTraceReader>(util::ByteSource::map_file(path));

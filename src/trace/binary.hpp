@@ -75,6 +75,17 @@ class BinaryTraceReader final : public TraceReader {
   bool next(Record& out) override;
   void rewind() override;
 
+  /// Positions are absolute byte offsets into the trace, so the
+  /// window-shifting checker can jump straight back to a recorded record
+  /// boundary. seek() on a pipe-backed StreamByteSource throws only when
+  /// it actually has to move backwards.
+  [[nodiscard]] bool seekable() const override { return true; }
+  [[nodiscard]] std::uint64_t tell() const override {
+    return win_pos_ + static_cast<std::uint64_t>(p_ - win_begin_);
+  }
+  void seek(std::uint64_t pos) override;
+  void release_hint(std::uint64_t begin, std::uint64_t end) override;
+
  private:
   /// Fetches the next window; returns false at end of data.
   bool refill();

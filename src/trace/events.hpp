@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -118,7 +119,37 @@ class TraceReader {
 
   /// Restarts reading from the first record after the header.
   virtual void rewind() = 0;
+
+  /// True when this reader supports tell()/seek() repositioning. The
+  /// window-shifting checker uses these to revisit trace regions without
+  /// re-reading everything before them; readers over pipes or other
+  /// forward-only inputs report false and the checker falls back to
+  /// rewind() + skipping records.
+  [[nodiscard]] virtual bool seekable() const { return false; }
+
+  /// Opaque position token for the *next* record to be read. Only
+  /// meaningful when seekable(); tokens are valid for the lifetime of the
+  /// reader and may only be passed back to seek() on the same reader.
+  [[nodiscard]] virtual std::uint64_t tell() const { return 0; }
+
+  /// Repositions so the next next() call reads the record whose token
+  /// `pos` was obtained from tell(). Throws std::runtime_error when the
+  /// reader is not seekable.
+  virtual void seek(std::uint64_t pos);
+
+  /// Advises that the record range [begin, end) (tell() tokens) will not
+  /// be re-read soon; a memory-mapped reader drops the backing pages from
+  /// RSS. Purely an optimization — default is a no-op.
+  virtual void release_hint(std::uint64_t begin, std::uint64_t end) {
+    (void)begin;
+    (void)end;
+  }
 };
+
+inline void TraceReader::seek(std::uint64_t pos) {
+  (void)pos;
+  throw std::runtime_error("trace reader does not support seeking");
+}
 
 /// Writer that discards everything; stands in for "trace generation off"
 /// while keeping the same code path hot (used by the Table 1 bench to

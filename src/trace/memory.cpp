@@ -72,4 +72,25 @@ void MemoryTraceReader::rewind() {
   end_emitted_ = false;
 }
 
+std::uint64_t MemoryTraceReader::tell() const {
+  std::uint64_t pos = deriv_pos_;
+  if (final_emitted_) ++pos;
+  pos += level0_pos_;
+  if (end_emitted_) ++pos;
+  return pos;
+}
+
+void MemoryTraceReader::seek(std::uint64_t pos) {
+  const std::uint64_t nd = trace_->derivations.size();
+  const std::uint64_t nf = trace_->has_final ? 1 : 0;
+  const std::uint64_t nl = trace_->level0.size();
+  deriv_pos_ = static_cast<std::size_t>(pos < nd ? pos : nd);
+  pos -= deriv_pos_;
+  final_emitted_ = nf != 0 && pos > 0;
+  if (final_emitted_) --pos;
+  level0_pos_ = static_cast<std::size_t>(pos < nl ? pos : nl);
+  pos -= level0_pos_;
+  end_emitted_ = pos > 0;
+}
+
 }  // namespace satproof::trace

@@ -68,6 +68,13 @@ class MemoryTraceReader final : public TraceReader {
   bool next(Record& out) override;
   void rewind() override;
 
+  /// Positions are indices into the canonical record sequence
+  /// (derivations, final conflict, level-0/assumptions, End), so tests can
+  /// drive the window checker's seek path without a real file.
+  [[nodiscard]] bool seekable() const override { return true; }
+  [[nodiscard]] std::uint64_t tell() const override;
+  void seek(std::uint64_t pos) override;
+
  private:
   const MemoryTrace* trace_;
   std::size_t deriv_pos_ = 0;

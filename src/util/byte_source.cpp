@@ -75,6 +75,10 @@ MmapByteSource::MmapByteSource(const std::string& path) {
       throw std::runtime_error("byte source: mmap failed on " + path);
     }
     base_ = static_cast<const std::uint8_t*>(map);
+    // Trace checking streams the file front to back (possibly more than
+    // once); tell the kernel so readahead stays aggressive.
+    ::posix_madvise(const_cast<std::uint8_t*>(base_), size_,
+                    POSIX_MADV_SEQUENTIAL);
   }
   ::close(fd);  // the mapping keeps the file alive
 }
@@ -85,6 +89,20 @@ MmapByteSource::~MmapByteSource() {
   }
 }
 
+void MmapByteSource::release(std::uint64_t pos, std::uint64_t len) {
+  if (base_ == nullptr || len == 0 || pos >= size_) return;
+  static const std::uint64_t kPage =
+      static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  // Round the range inward to whole pages: DONTNEED on a partial page
+  // would also drop bytes the caller did not release.
+  std::uint64_t begin = (pos + kPage - 1) / kPage * kPage;
+  std::uint64_t end = pos + len < size_ ? pos + len : size_;
+  end = end / kPage * kPage;
+  if (begin >= end) return;
+  ::posix_madvise(const_cast<std::uint8_t*>(base_) + begin,
+                  static_cast<std::size_t>(end - begin), POSIX_MADV_DONTNEED);
+}
+
 #else  // !SATPROOF_HAVE_MMAP
 
 MmapByteSource::MmapByteSource(const std::string& path) {
@@ -93,6 +111,8 @@ MmapByteSource::MmapByteSource(const std::string& path) {
 }
 
 MmapByteSource::~MmapByteSource() = default;
+
+void MmapByteSource::release(std::uint64_t, std::uint64_t) {}
 
 #endif
 

@@ -45,6 +45,16 @@ class ByteSource {
   /// window() call on the same source.
   virtual Window window(std::uint64_t pos) = 0;
 
+  /// Advises that bytes [pos, pos + len) will not be needed again soon.
+  /// A memory-mapped source drops the backing pages from RSS
+  /// (POSIX_MADV_DONTNEED); re-reading them later just faults them back
+  /// in. Purely advisory — the default is a no-op and pointers from a
+  /// *current* window stay valid regardless.
+  virtual void release(std::uint64_t pos, std::uint64_t len) {
+    (void)pos;
+    (void)len;
+  }
+
   /// Maps (or reads) `path` and returns a source over its contents.
   /// Prefers mmap; falls back to a MemoryByteSource on platforms without
   /// it. Throws std::runtime_error if the file cannot be opened.
@@ -75,6 +85,7 @@ class MmapByteSource final : public ByteSource {
   MmapByteSource& operator=(const MmapByteSource&) = delete;
 
   Window window(std::uint64_t pos) override;
+  void release(std::uint64_t pos, std::uint64_t len) override;
 
  private:
   const std::uint8_t* base_ = nullptr;

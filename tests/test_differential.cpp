@@ -1,6 +1,7 @@
 // Differential fuzzing across every checker backend: the same solver run
-// is validated by depth-first, breadth-first, hybrid, parallel and DRUP
-// checking, and all five must agree — same verdict on every instance, and
+// is validated by depth-first, breadth-first, hybrid, parallel, DRUP and
+// window-shifting checking, and all six must agree — same verdict on
+// every instance, and
 // (where a backend extracts one) the same unsat core. Instances are random
 // 3-SAT at clause/variable ratios straddling the phase transition (~4.27),
 // where both SAT and UNSAT outcomes occur and proofs are nontrivial.
@@ -17,6 +18,7 @@
 #include "src/checker/drup.hpp"
 #include "src/checker/hybrid.hpp"
 #include "src/checker/parallel.hpp"
+#include "src/checker/window.hpp"
 #include "src/cnf/model.hpp"
 #include "src/encode/random_ksat.hpp"
 #include "src/solver/solver.hpp"
@@ -100,6 +102,34 @@ TEST_P(DifferentialFuzz, AllBackendsAgreeOnVerdictAndCore) {
     // streaming clause window must never exceed the depth-first checker's
     // whole-trace-plus-memoized-clauses footprint.
     EXPECT_LE(bf.stats.peak_mem_bytes, df.stats.peak_mem_bytes);
+
+    // Window backend across budgets. A roomy budget must reproduce the
+    // depth-first verdict, core and replay stats byte for byte. Tighter
+    // budgets may legitimately refuse (the resident index alone can
+    // exceed them) — but then the failure must be the graceful budget
+    // diagnostic, never a crash or a wrong verdict.
+    bool strict = true;  // 1 MiB always fits these instances
+    for (const std::size_t limit :
+         {std::size_t{1} << 20, std::size_t{16} << 10, std::size_t{2} << 10}) {
+      trace::MemoryTraceReader rw(t);
+      checker::WindowOptions wopts;
+      wopts.mem_limit_bytes = limit;
+      wopts.collect_core = true;
+      const checker::CheckResult wn = checker::check_window(f, rw, wopts);
+      SCOPED_TRACE("window mem_limit=" + std::to_string(limit));
+      if (strict) EXPECT_TRUE(wn.ok) << wn.error;
+      if (wn.ok) {
+        EXPECT_EQ(wn.core, df.core);
+        EXPECT_EQ(wn.stats.resolutions, df.stats.resolutions);
+        EXPECT_EQ(wn.stats.clauses_built, df.stats.clauses_built);
+        EXPECT_EQ(wn.stats.core_original_clauses,
+                  df.stats.core_original_clauses);
+        EXPECT_EQ(wn.stats.total_derivations, df.stats.total_derivations);
+      } else {
+        EXPECT_NE(wn.error.find("mem limit"), std::string::npos) << wn.error;
+      }
+      strict = false;
+    }
   }
   // The ratio sweep straddles the phase transition, so a healthy fraction
   // of every shard must actually exercise the proof path.

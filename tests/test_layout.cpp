@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "src/checker/depth_first.hpp"
+#include "src/checker/window.hpp"
 #include "src/encode/random_ksat.hpp"
 #include "src/solver/solver.hpp"
 #include "src/trace/memory.hpp"
@@ -33,6 +34,18 @@ checker::CheckResult run_df(const Formula& f, const trace::MemoryTrace& t,
   arena.set_binary_tier(binary_tier);
   options.recycle_arena = &arena;
   return checker::check_depth_first(f, reader, options);
+}
+
+checker::CheckResult run_window(const Formula& f, const trace::MemoryTrace& t,
+                                bool binary_tier) {
+  trace::MemoryTraceReader reader(t);
+  checker::WindowOptions options;
+  options.mem_limit_bytes = 1 << 20;
+  options.collect_core = true;
+  util::ClauseArena arena;
+  arena.set_binary_tier(binary_tier);
+  options.recycle_arena = &arena;
+  return checker::check_window(f, reader, options);
 }
 
 void expect_identical(const checker::CheckResult& a,
@@ -85,6 +98,19 @@ TEST_P(LayoutEquivalence, StreamingAndBinaryTierAreByteIdentical) {
                      "binary tier vs headered-only");
     expect_identical(reference, run_df(f, t, true, true),
                      "streaming + binary tier vs neither");
+
+    // The window backend is subject to the same discipline: the arena's
+    // binary tier is invisible in every observable output, and on valid
+    // traces its verdict, core and replay counters match depth-first.
+    const checker::CheckResult window = run_window(f, t, false);
+    expect_identical(window, run_window(f, t, true),
+                     "window: binary tier vs headered-only");
+    EXPECT_EQ(window.ok, reference.ok);
+    if (reference.ok) {
+      EXPECT_EQ(window.core, reference.core);
+      EXPECT_EQ(window.stats.resolutions, reference.stats.resolutions);
+      EXPECT_EQ(window.stats.clauses_built, reference.stats.clauses_built);
+    }
   }
   EXPECT_GE(unsat_seen, kInstancesPerShard / 5);
 }

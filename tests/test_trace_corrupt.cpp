@@ -13,6 +13,7 @@
 #include "src/checker/drup.hpp"
 #include "src/checker/hybrid.hpp"
 #include "src/checker/parallel.hpp"
+#include "src/checker/window.hpp"
 #include "src/encode/pigeonhole.hpp"
 #include "src/solver/solver.hpp"
 #include "src/trace/drup.hpp"
@@ -27,7 +28,9 @@ struct BackendRun {
   CheckResult result;
 };
 
-/// Runs all four trace-replaying backends on one trace.
+/// Runs all trace-replaying backends on one trace (the window backend at
+/// two budgets: roomy, and small enough to force several windows — a
+/// corrupt trace must be rejected on both paths).
 std::vector<BackendRun> run_all(const Formula& f, const trace::MemoryTrace& t) {
   std::vector<BackendRun> runs;
   {
@@ -47,6 +50,16 @@ std::vector<BackendRun> run_all(const Formula& f, const trace::MemoryTrace& t) {
     ParallelOptions opts;
     opts.jobs = 3;
     runs.push_back({"parallel", check_parallel(f, r, opts)});
+  }
+  {
+    trace::MemoryTraceReader r(t);
+    runs.push_back({"window", check_window(f, r)});
+  }
+  {
+    trace::MemoryTraceReader r(t);
+    WindowOptions opts;
+    opts.mem_limit_bytes = 64 << 10;
+    runs.push_back({"window-64k", check_window(f, r, opts)});
   }
   return runs;
 }

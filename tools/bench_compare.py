@@ -48,6 +48,11 @@ import sys
 # they are reported but never gate.
 DEFAULT_MIN_SECONDS = 0.0005
 
+# Same idea for byte metrics (peak-RSS readings): below this the
+# measurement is dominated by allocator/page-cache noise in the forked
+# child, not by anything the checker did.
+DEFAULT_MIN_BYTES = 4 << 20
+
 # One-shot warnings (extract() runs once per current file).
 _warned = set()
 
@@ -73,7 +78,7 @@ def extract(bench, baseline_doc, current_doc):
     if bench == "table2":
         base = baseline_doc.get("quick") or baseline_doc.get("arena") or {}
         cur = current_doc.get("arena") or current_doc
-        keys = ("df_seconds", "bf_seconds", "hybrid_seconds")
+        keys = ("df_seconds", "bf_seconds", "hybrid_seconds", "window_seconds")
         base_metrics = totals_metrics(base.get("totals", {}), keys)
         cur_metrics = totals_metrics(cur.get("totals", {}), keys)
         # The LRAT-emission DF sweep gates like any other wall time, so
@@ -84,6 +89,14 @@ def extract(bench, baseline_doc, current_doc):
         if "df_seconds_emitting" in base_lrat and "df_seconds_emitting" in cur_lrat:
             base_metrics["df_seconds_emitting"] = base_lrat["df_seconds_emitting"]
             cur_metrics["df_seconds_emitting"] = cur_lrat["df_seconds_emitting"]
+        # Peak-RSS-per-backend (the "memory" block, forked-getrusage
+        # readings) gates exactly like wall time: a backend quietly
+        # growing its real footprint >threshold% fails the leg. Bytes
+        # metrics get their own noise floor (--min-bytes).
+        for k, v in (base.get("memory") or {}).items():
+            if k.endswith("_bytes") and k in (cur.get("memory") or {}):
+                base_metrics[k] = v
+                cur_metrics[k] = cur["memory"][k]
         return (base_metrics, cur_metrics, base.get("suite"), cur.get("suite"))
     if bench == "parallel":
         base = baseline_doc.get("parallel_quick") or baseline_doc
@@ -176,6 +189,12 @@ def main():
         default=DEFAULT_MIN_SECONDS,
         help="noise floor: metrics with a smaller baseline never gate",
     )
+    ap.add_argument(
+        "--min-bytes",
+        type=float,
+        default=DEFAULT_MIN_BYTES,
+        help="noise floor for *_bytes metrics (peak-RSS readings)",
+    )
     args = ap.parse_args()
 
     try:
@@ -224,8 +243,10 @@ def main():
     )
     for name in common:
         b, c = base[name], cur[name]
+        is_bytes = name.endswith("_bytes")
+        floor = args.min_bytes if is_bytes else args.min_seconds
         delta_pct = (c - b) / b * 100.0 if b > 0 else 0.0
-        if b < args.min_seconds:
+        if b < floor:
             verdict = "skip (under noise floor)"
         else:
             gated += 1
@@ -234,10 +255,16 @@ def main():
                 regressions.append(name)
             else:
                 verdict = "ok"
-        print(
-            "  %-24s baseline %.6fs  current %.6fs  %+7.1f%%  %s"
-            % (name, b, c, delta_pct, verdict)
-        )
+        if is_bytes:
+            print(
+                "  %-24s baseline %10.0fB  current %10.0fB  %+7.1f%%  %s"
+                % (name, b, c, delta_pct, verdict)
+            )
+        else:
+            print(
+                "  %-24s baseline %.6fs  current %.6fs  %+7.1f%%  %s"
+                % (name, b, c, delta_pct, verdict)
+            )
 
     if not gated:
         print(

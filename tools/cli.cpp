@@ -1,8 +1,10 @@
 #include "tools/cli.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -82,16 +84,22 @@ usage:
       exit code: 10 SAT, 20 UNSAT, 0 unknown, 1 error
 
   satproof check <file.cnf> <trace-file> [--checker=MODE] [--jobs=N] [--binary]
-                 [--stats] [--trace-out FILE]
+                 [--mem-limit=N] [--stats] [--trace-out FILE]
       replay a trace against the formula; exit 0 iff the proof is valid.
       --checker picks the backend: df (default) depth-first resolution
       replay; bf breadth-first; hybrid the bounded-memory hybrid; parallel
       wavefront-parallel depth-first across N worker threads (--jobs,
       default: all hardware threads; identical verdict, core and stats to
       df); rup cross-validates every derived clause by reverse unit
-      propagation instead of replaying resolutions; auto picks df for
-      small traces and the memory-light hybrid for large ones (the
-      selection is recorded in the --stats=json "backend" field). The
+      propagation instead of replaying resolutions; window replays the
+      trace in budget-sized windows under --mem-limit (verdict, core and
+      stats identical to df at a fraction of the memory); auto picks df
+      for small traces and the memory-light hybrid for large ones (the
+      selection is recorded in the --stats=json "backend" field).
+      --mem-limit=N caps checker memory (K/M/G suffixes accepted): it is
+      the window backend's budget, steers --checker=auto by the budget
+      and trace size, and downgrades df/hybrid requests that would not
+      fit (see docs/CHECKERS.md). The
       flags --bf, --hybrid and --rup remain as shorthands. --stats
       appends a line with clause-arena traffic (bytes
       allocated/recycled/peak) and total peak checker memory;
@@ -123,6 +131,11 @@ usage:
       --idle-timeout-ms N  drop connections silent this long (default 30000)
       --slow-job-ms N  dump a span-tree profile to stderr for any job
                        slower than N ms (0 = off, the default)
+      --mem-limit N    per-worker checker memory cap in bytes (K/M/G
+                       suffixes accepted): df/hybrid jobs that would not
+                       fit are downgraded, ultimately to the
+                       window-shifting backend, so one huge upload cannot
+                       OOM a worker (0 = no cap, the default)
       --certify        re-verify every certified job's LRAT output with
                        the trusted kernel before replying (counted in the
                        satproofd_certified_total metrics)
@@ -133,8 +146,9 @@ usage:
                   [--backend=MODE] [--jobs N] [--wait] [--timeout-ms N]
                   [--certify [--cert-out FILE]]
       submit one checking job to a running daemon. --backend picks
-      df | bf | hybrid | parallel | drup (default df; drup treats the
-      trace argument as a DRUP proof). --wait blocks for the verdict and
+      df | bf | hybrid | parallel | drup | window (default df; drup
+      treats the trace argument as a DRUP proof; window replays under
+      the daemon's --mem-limit budget). --wait blocks for the verdict and
       exits 0 iff the proof checked out. --certify (df/hybrid only,
       implies --wait) asks the daemon for an LRAT certificate, delivered
       in a RESULT_CERT frame; --cert-out saves it to a file.
@@ -219,6 +233,34 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
     throw CliError(std::string("expected a number for ") + what + ", got '" +
                    s + "'");
   }
+}
+
+/// Byte count with an optional K/M/G suffix (powers of 1024), e.g.
+/// "256M", "4G", "65536". Case-insensitive; a trailing "B"/"iB" is
+/// accepted ("256MiB").
+std::uint64_t parse_byte_size(const std::string& s, const char* what) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  std::string suffix = s.substr(pos);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(c));
+  std::uint64_t shift = 0;
+  if (suffix == "k" || suffix == "kb" || suffix == "kib") shift = 10;
+  else if (suffix == "m" || suffix == "mb" || suffix == "mib") shift = 20;
+  else if (suffix == "g" || suffix == "gb" || suffix == "gib") shift = 30;
+  else if (!suffix.empty() || pos == 0) {
+    throw CliError(std::string("expected a byte size for ") + what +
+                   " (e.g. 268435456, 256M, 4G), got '" + s + "'");
+  }
+  if (shift != 0 && v > (std::numeric_limits<std::uint64_t>::max() >> shift)) {
+    throw CliError(std::string("byte size for ") + what + " overflows: '" +
+                   s + "'");
+  }
+  return static_cast<std::uint64_t>(v) << shift;
 }
 
 std::int64_t parse_i64(const std::string& s, const char* what) {
@@ -606,6 +648,11 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
     jobs = static_cast<unsigned>(parse_u64(*v, "--jobs"));
     if (jobs == 0) throw CliError("--jobs must be at least 1");
   }
+  std::size_t mem_limit = 0;
+  if (const auto v = args.take_option("--mem-limit")) {
+    mem_limit = static_cast<std::size_t>(parse_byte_size(*v, "--mem-limit"));
+    if (mem_limit == 0) throw CliError("--mem-limit must be non-zero");
+  }
   const std::string cnf_path = args.next("CNF file");
   const std::string trace_path = args.next("trace file");
   args.expect_done();
@@ -618,8 +665,12 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
                      : use_rup    ? "rup"
                                   : checker_opt.value_or("df");
   if (mode != "df" && mode != "bf" && mode != "hybrid" && mode != "rup" &&
-      mode != "parallel" && mode != "auto") {
-    throw CliError("--checker expects df, bf, hybrid, rup, parallel or auto");
+      mode != "parallel" && mode != "window" && mode != "auto") {
+    throw CliError(
+        "--checker expects df, bf, hybrid, rup, parallel, window or auto");
+  }
+  if (mem_limit != 0 && mode == "rup") {
+    throw CliError("--mem-limit does not apply to the rup checker");
   }
 
   util::Timer timer;
@@ -652,12 +703,25 @@ int cmd_check(Args args, std::ostream& out, std::ostream& err) {
   // The replay backends go through the same dispatch as the service daemon,
   // so a CLI verdict and a `satproof submit` verdict come from one code path.
   // Binary traces are detected by their magic; --binary stays accepted as a
-  // no-op for compatibility.
-  const service::Backend backend =
-      mode == "auto" ? resolve_auto_backend(trace_path)
-                     : *service::backend_from_name(mode);
-  const service::JobOutcome result =
-      service::run_check(cnf_path, trace_path, backend, jobs);
+  // no-op for compatibility. With both --checker=auto and --mem-limit the
+  // backend is picked from the budget and the declared trace size
+  // (select_backend_for_budget); run_check then re-applies the same cap to
+  // explicit df/hybrid requests.
+  service::Backend backend;
+  if (mode == "auto" && mem_limit != 0) {
+    std::ifstream in(trace_path,
+                     std::ios::in | std::ios::binary | std::ios::ate);
+    const std::streamoff size =
+        in ? static_cast<std::streamoff>(in.tellg()) : std::streamoff{0};
+    backend = service::select_backend_for_budget(
+        size > 0 ? static_cast<std::uint64_t>(size) : 0, mem_limit);
+  } else if (mode == "auto") {
+    backend = resolve_auto_backend(trace_path);
+  } else {
+    backend = *service::backend_from_name(mode);
+  }
+  const service::JobOutcome result = service::run_check(
+      cnf_path, trace_path, backend, jobs, nullptr, {}, mem_limit);
   if (result.ok) {
     if (result.failed_assumption_clause.empty()) {
       out << "VERIFIED: valid resolution proof of unsatisfiability ("
@@ -833,6 +897,13 @@ int cmd_serve(Args args, std::ostream& out, std::ostream&) {
   if (const auto v = args.take_option("--slow-job-ms")) {
     opts.slow_job_ms = static_cast<std::uint32_t>(parse_u64(*v, "--slow-job-ms"));
   }
+  if (const auto v = args.take_option("--mem-limit")) {
+    opts.mem_limit_bytes =
+        static_cast<std::size_t>(parse_byte_size(*v, "--mem-limit"));
+    if (opts.mem_limit_bytes == 0) {
+      throw CliError("--mem-limit must be non-zero");
+    }
+  }
   opts.certify = args.take_flag("--certify");
   args.expect_done();
   if (opts.unix_socket_path.empty() && !opts.enable_tcp) {
@@ -880,7 +951,8 @@ int cmd_submit(Args args, std::ostream& out, std::ostream& err) {
   if (const auto v = args.take_option("--backend")) {
     const auto parsed = service::backend_from_name(*v);
     if (!parsed) {
-      throw CliError("--backend expects df, bf, hybrid, parallel or drup");
+      throw CliError(
+          "--backend expects df, bf, hybrid, parallel, drup or window");
     }
     backend = *parsed;
   }

@@ -1,0 +1,224 @@
+// gen_bigtrace — synthesize an arbitrarily large valid binary resolution
+// trace plus its DIMACS formula, for memory-budget testing (the CI
+// mem-budget gate and the window-checker acceptance runs).
+//
+// Construction: K independent "ladder" chains of N variables each. Ladder
+// w has a unit original (v_0), plus implication originals up
+// (~v_i | v_{i+1}) and down (~v_{i+1} | v_i) between every adjacent pair.
+// A walker per ladder starts at rung 0 and random-walks up and down; each
+// step emits ONE derivation that folds the walker's current unit clause
+// with a same-direction chain of L implication originals, deriving the
+// unit clause of the landing rung. Every derivation therefore consumes
+// the previous one, so the whole trace is reachable from the final
+// conflict and a replay must fold all of it — while the live frontier is
+// only K unit clauses, which is what lets the window checker verify a
+// multi-GB trace in megabytes of memory.
+//
+// The endgame steers every walker to the top rung, resolves the join
+// original (~v^0_top | ... | ~v^{K-1}_top | z) with each top unit to
+// derive the unit (z), records z as a level-0 assignment with that
+// derivation as its antecedent, and reports the original (~z) as the
+// final conflict.
+//
+// Usage:
+//   gen_bigtrace -o FILE.cnf -t FILE.trace [--target-bytes N(K/M/G)]
+//                [--ladders K] [--vars N] [--chain L] [--seed S]
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/binary.hpp"
+
+namespace {
+
+using satproof::ClauseId;
+using satproof::Var;
+
+std::uint64_t parse_bytes(const std::string& s) {
+  std::size_t pos = 0;
+  const std::uint64_t v = std::stoull(s, &pos);
+  std::uint64_t mult = 1;
+  if (pos < s.size()) {
+    switch (s[pos]) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: throw std::runtime_error("bad byte suffix in '" + s + "'");
+    }
+  }
+  return v * mult;
+}
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+struct Params {
+  std::string cnf_path;
+  std::string trace_path;
+  std::uint64_t target_bytes = 64ull << 20;
+  std::uint64_t ladders = 4;
+  std::uint64_t vars = 1u << 16;  ///< rungs per ladder
+  std::uint64_t chain = 64;      ///< implication originals folded per step
+  std::uint64_t seed = 1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Params p;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (++i >= argc) throw std::runtime_error(arg + " needs a value");
+        return argv[i];
+      };
+      if (arg == "-o") p.cnf_path = value();
+      else if (arg == "-t") p.trace_path = value();
+      else if (arg == "--target-bytes") p.target_bytes = parse_bytes(value());
+      else if (arg == "--ladders") p.ladders = std::stoull(value());
+      else if (arg == "--vars") p.vars = std::stoull(value());
+      else if (arg == "--chain") p.chain = std::stoull(value());
+      else if (arg == "--seed") p.seed = std::stoull(value());
+      else throw std::runtime_error("unknown argument " + arg);
+    }
+    if (p.cnf_path.empty() || p.trace_path.empty()) {
+      throw std::runtime_error("both -o FILE.cnf and -t FILE.trace required");
+    }
+    // vars >= 2*chain + 1 keeps the two walk-reflection guards mutually
+    // exclusive (a walker can always take a full chain in one direction).
+    if (p.ladders == 0 || p.chain == 0 || p.vars < 2 * p.chain + 1) {
+      throw std::runtime_error("need ladders >= 1, chain >= 1, vars >= 2*chain+1");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gen_bigtrace: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::uint64_t kK = p.ladders;
+  const std::uint64_t kN = p.vars;
+  const std::uint64_t kL = p.chain;
+
+  // Variable layout (0-based): ladder w rung i -> w*kN + i; z is the last.
+  const Var z_var = static_cast<Var>(kK * kN);
+  const Var num_vars = z_var + 1;
+  auto rung = [&](std::uint64_t w, std::uint64_t i) -> std::int64_t {
+    return static_cast<std::int64_t>(w * kN + i) + 1;  // DIMACS, positive
+  };
+
+  // Clause IDs by order of appearance in the CNF: per ladder the unit,
+  // then the up implications, then the down implications; then join, ~z.
+  const std::uint64_t per_ladder = 1 + 2 * (kN - 1);
+  auto id_unit = [&](std::uint64_t w) { return w * per_ladder; };
+  auto id_up = [&](std::uint64_t w, std::uint64_t i) {  // (~v_i | v_{i+1})
+    return w * per_ladder + 1 + i;
+  };
+  auto id_down = [&](std::uint64_t w, std::uint64_t i) {  // (~v_{i+1} | v_i)
+    return w * per_ladder + 1 + (kN - 1) + i;
+  };
+  const ClauseId id_join = kK * per_ladder;
+  const ClauseId id_notz = id_join + 1;
+  const ClauseId num_original = id_notz + 1;
+
+  {
+    std::ofstream cnf(p.cnf_path);
+    if (!cnf) {
+      std::cerr << "gen_bigtrace: cannot open " << p.cnf_path << "\n";
+      return 1;
+    }
+    cnf << "c synthetic ladder-walk instance (gen_bigtrace)\n";
+    cnf << "p cnf " << num_vars << ' ' << num_original << '\n';
+    for (std::uint64_t w = 0; w < kK; ++w) {
+      cnf << rung(w, 0) << " 0\n";
+      for (std::uint64_t i = 0; i + 1 < kN; ++i) {
+        cnf << -rung(w, i) << ' ' << rung(w, i + 1) << " 0\n";
+      }
+      for (std::uint64_t i = 0; i + 1 < kN; ++i) {
+        cnf << -rung(w, i + 1) << ' ' << rung(w, i) << " 0\n";
+      }
+    }
+    for (std::uint64_t w = 0; w < kK; ++w) cnf << -rung(w, kN - 1) << ' ';
+    cnf << static_cast<std::int64_t>(z_var) + 1 << " 0\n";
+    cnf << '-' << static_cast<std::int64_t>(z_var) + 1 << " 0\n";
+    if (!cnf) {
+      std::cerr << "gen_bigtrace: write failed on " << p.cnf_path << "\n";
+      return 1;
+    }
+  }
+
+  std::ofstream out(p.trace_path, std::ios::out | std::ios::binary);
+  if (!out) {
+    std::cerr << "gen_bigtrace: cannot open " << p.trace_path << "\n";
+    return 1;
+  }
+  satproof::trace::BinaryTraceWriter writer(out);
+  writer.begin(num_vars, num_original);
+
+  // Walker state: current rung and the clause ID of its current unit
+  // clause (the ladder's unit original until the first step).
+  std::vector<std::uint64_t> pos(kK, 0);
+  std::vector<ClauseId> unit(kK);
+  for (std::uint64_t w = 0; w < kK; ++w) unit[w] = id_unit(w);
+
+  ClauseId next_id = num_original;
+  std::uint64_t rng = p.seed ? p.seed : 0x9e3779b97f4a7c15ull;
+  std::vector<ClauseId> sources;
+
+  // One walk step for walker w: fold `steps` implications going `up`.
+  auto emit_step = [&](std::uint64_t w, bool up, std::uint64_t steps) {
+    sources.clear();
+    sources.push_back(unit[w]);
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      const std::uint64_t i = pos[w];
+      sources.push_back(up ? id_up(w, i) : id_down(w, i - 1));
+      pos[w] = up ? i + 1 : i - 1;
+    }
+    writer.derivation(next_id, sources);
+    unit[w] = next_id++;
+  };
+
+  std::uint64_t emitted = 0;
+  while (static_cast<std::uint64_t>(out.tellp()) < p.target_bytes) {
+    const std::uint64_t w = xorshift(rng) % kK;
+    bool up = (xorshift(rng) & 1) != 0;
+    if (pos[w] + kL > kN - 1) up = false;  // reflect at the top
+    if (pos[w] < kL) up = true;            // reflect at the bottom
+    emit_step(w, up, kL);
+    ++emitted;
+  }
+
+  // Endgame: walk everyone to the top rung (in <= kL hops per record so no
+  // single derivation outgrows a normal window), derive (z), finish.
+  for (std::uint64_t w = 0; w < kK; ++w) {
+    while (pos[w] < kN - 1) {
+      emit_step(w, true, std::min(kL, kN - 1 - pos[w]));
+      ++emitted;
+    }
+  }
+  sources.clear();
+  sources.push_back(id_join);
+  for (std::uint64_t w = 0; w < kK; ++w) sources.push_back(unit[w]);
+  const ClauseId id_z = next_id++;
+  writer.derivation(id_z, sources);  // (z)
+  writer.final_conflict(id_notz);
+  writer.level0(z_var, true, id_z);
+  writer.end();
+  out.flush();
+  if (!out) {
+    std::cerr << "gen_bigtrace: write failed on " << p.trace_path << "\n";
+    return 1;
+  }
+
+  std::cerr << "gen_bigtrace: " << num_vars << " vars, " << num_original
+            << " original clauses, " << (emitted + 1) << " derivations, "
+            << out.tellp() << " trace bytes -> " << p.trace_path << "\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""CI gate for the window-shifting checker's memory budget.
+
+Generates a synthetic trace (tools/gen_bigtrace) several times larger
+than the checker budget, then verifies it with `--checker=window
+--mem-limit=N` inside a hard RLIMIT_AS address-space cap of
+
+    trace size (the checker memory-maps the whole file)
+  + the window budget
+  + a fixed slack for the binary, libc, the parsed formula and malloc
+    overhead (--slack)
+
+and fails on any of:
+
+  * the window run dying (OOM under the cap, crash, or a rejected proof),
+  * its verdict or checker stats differing from an unrestricted
+    depth-first run (timing and memory-traffic fields excluded),
+  * the trace not being at least 4x the budget (the gate would prove
+    nothing), or
+  * with --require-df-oom: the depth-first checker SURVIVING under the
+    same cap — if it fits, the cap is too loose to demonstrate anything.
+
+Usage (the quick PR leg):
+  python3 tools/mem_budget_gate.py \
+      --satproof build/tools/satproof --gen build/tools/gen_bigtrace \
+      --target-bytes 192M --mem-limit 24M --require-df-oom
+"""
+
+import argparse
+import json
+import os
+import re
+import resource
+import subprocess
+import sys
+import tempfile
+
+SUFFIX = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_bytes(s: str) -> int:
+    m = re.fullmatch(r"(\d+)\s*([kKmMgG]?)(i?[bB])?", s)
+    if not m:
+        raise argparse.ArgumentTypeError(f"bad byte size: {s!r}")
+    return int(m.group(1)) * SUFFIX.get(m.group(2).lower(), 1)
+
+
+def run(cmd, as_limit=None, **kw):
+    """Run cmd, optionally under a hard RLIMIT_AS cap (bytes)."""
+
+    def cap():
+        resource.setrlimit(resource.RLIMIT_AS, (as_limit, as_limit))
+
+    return subprocess.run(
+        cmd,
+        preexec_fn=cap if as_limit else None,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        **kw,
+    )
+
+
+# Fields that legitimately differ between backends: memory traffic and
+# provenance. Everything else in the stats JSON must match exactly.
+VOLATILE_STATS = {
+    "backend",
+    "peak_mem_bytes",
+    "arena_allocated_bytes",
+    "arena_recycled_bytes",
+    "arena_peak_bytes",
+}
+
+
+def parse_check_output(stdout: str):
+    """Returns (normalized verdict line, stats dict) from a check run."""
+    verdict, stats = "", {}
+    for line in stdout.splitlines():
+        if line.startswith("VERIFIED"):
+            verdict = re.sub(r", [0-9.e+-]+s\)", ")", line)
+        elif line.startswith("{"):
+            stats = {
+                k: v
+                for k, v in json.loads(line).items()
+                if k not in VOLATILE_STATS
+            }
+    return verdict, stats
+
+
+def fail(msg: str):
+    print(f"mem-budget gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--satproof", required=True)
+    ap.add_argument("--gen", required=True, help="gen_bigtrace binary")
+    ap.add_argument("--target-bytes", type=parse_bytes, default=192 << 20)
+    ap.add_argument("--mem-limit", type=parse_bytes, default=24 << 20)
+    ap.add_argument(
+        "--slack",
+        type=parse_bytes,
+        default=192 << 20,
+        help="address-space allowance for binary+libs+formula+malloc "
+        "overhead on top of trace size and the checker budget",
+    )
+    ap.add_argument("--ladders", type=int, default=4)
+    ap.add_argument("--vars", type=int, default=2048)
+    ap.add_argument("--chain", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=20030310)
+    ap.add_argument(
+        "--require-df-oom",
+        action="store_true",
+        help="also run depth-first under the cap and require it to die",
+    )
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="mem-budget-gate.") as tmp:
+        cnf = os.path.join(tmp, "gate.cnf")
+        trace = os.path.join(tmp, "gate.trace")
+        gen = run(
+            [
+                args.gen, "-o", cnf, "-t", trace,
+                "--target-bytes", str(args.target_bytes),
+                "--ladders", str(args.ladders),
+                "--vars", str(args.vars),
+                "--chain", str(args.chain),
+                "--seed", str(args.seed),
+            ]
+        )
+        if gen.returncode != 0:
+            fail(f"gen_bigtrace failed:\n{gen.stderr}")
+        trace_bytes = os.path.getsize(trace)
+        if trace_bytes < 4 * args.mem_limit:
+            fail(
+                f"trace is only {trace_bytes} bytes; need >= 4x the "
+                f"{args.mem_limit}-byte budget for the gate to mean anything"
+            )
+        cap = trace_bytes + args.mem_limit + args.slack
+        print(
+            f"mem-budget gate: trace {trace_bytes} bytes, window budget "
+            f"{args.mem_limit}, RLIMIT_AS cap {cap}"
+        )
+
+        ref = run(
+            [args.satproof, "check", cnf, trace, "--checker=df",
+             "--stats=json"]
+        )
+        if ref.returncode != 0:
+            fail(f"unrestricted df reference run failed:\n{ref.stderr}")
+        ref_verdict, ref_stats = parse_check_output(ref.stdout)
+
+        win = run(
+            [args.satproof, "check", cnf, trace, "--checker=window",
+             f"--mem-limit={args.mem_limit}", "--stats=json"],
+            as_limit=cap,
+        )
+        if win.returncode != 0:
+            fail(
+                f"window run died under the cap (exit {win.returncode}):\n"
+                f"{win.stdout}\n{win.stderr}"
+            )
+        win_verdict, win_stats = parse_check_output(win.stdout)
+
+        if win_verdict != ref_verdict:
+            fail(
+                f"verdict mismatch:\n  df:     {ref_verdict}\n"
+                f"  window: {win_verdict}"
+            )
+        if win_stats != ref_stats:
+            diff = {
+                k: (ref_stats.get(k), win_stats.get(k))
+                for k in set(ref_stats) | set(win_stats)
+                if ref_stats.get(k) != win_stats.get(k)
+            }
+            fail(f"stats mismatch (df, window): {diff}")
+
+        if args.require_df_oom:
+            df_capped = run(
+                [args.satproof, "check", cnf, trace, "--checker=df"],
+                as_limit=cap,
+            )
+            if df_capped.returncode == 0:
+                fail(
+                    "depth-first survived under the same cap — the cap is "
+                    "too loose for this gate to demonstrate anything; "
+                    "grow --target-bytes or shrink --slack"
+                )
+            print(
+                "mem-budget gate: df died under the cap as expected "
+                f"(exit {df_capped.returncode})"
+            )
+
+        print(f"mem-budget gate: PASS — {win_verdict}")
+
+
+if __name__ == "__main__":
+    main()

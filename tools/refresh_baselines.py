@@ -90,14 +90,18 @@ def run_bench(binary, *args):
 
 
 def min_into(target, other):
-    """Element-wise min of the wall-time numbers bench_compare gates on."""
+    """Element-wise min of the numbers bench_compare gates on: wall times
+    and the forked peak-RSS readings (best-of-N footprint, matching the
+    best-of-N the compare side takes)."""
     for key, value in other.items():
         if isinstance(value, dict):
             min_into(target[key], value)
         elif isinstance(value, list) and key in ("runs", "worker_sweep"):
             for t, o in zip(target[key], value):
                 min_into(t, o)
-        elif isinstance(value, (int, float)) and key.endswith("seconds"):
+        elif isinstance(value, (int, float)) and (
+            key.endswith("seconds") or key.endswith("_bytes")
+        ):
             target[key] = min(target[key], value)
 
 
